@@ -1,0 +1,486 @@
+// Benchmarks: one per reproduced table and figure (regenerating its data at
+// reduced scale and reporting the headline quantity as a custom metric),
+// plus the ablation benches DESIGN.md §6 calls out and substrate
+// micro-benches. Run with:
+//
+//	go test -bench=. -benchmem
+package readretry_test
+
+import (
+	"testing"
+
+	"readretry/internal/charz"
+	"readretry/internal/core"
+	"readretry/internal/ecc"
+	"readretry/internal/experiments"
+	"readretry/internal/nand"
+	"readretry/internal/rng"
+	"readretry/internal/rpt"
+	"readretry/internal/ssd"
+	"readretry/internal/trace"
+	"readretry/internal/vth"
+	"readretry/internal/workload"
+)
+
+// --- Table 1 ---------------------------------------------------------------
+
+func BenchmarkTable1Timing(b *testing.B) {
+	tm := nand.DefaultTiming()
+	var sink float64
+	for i := 0; i < b.N; i++ {
+		for _, pt := range []nand.PageType{nand.LSB, nand.CSB, nand.MSB} {
+			sink += float64(tm.TR(pt, nand.Reduction{Pre: 0.4}))
+		}
+	}
+	b.ReportMetric(tm.AvgTR().Microseconds(), "avg_tR_us")
+	_ = sink
+}
+
+// --- Table 2 ---------------------------------------------------------------
+
+func BenchmarkTable2Workloads(b *testing.B) {
+	spec, err := workload.ByName("mds_1")
+	if err != nil {
+		b.Fatal(err)
+	}
+	spec.FootprintPages = 1 << 16
+	var recs []trace.Record
+	for i := 0; i < b.N; i++ {
+		recs = workload.NewGenerator(spec, 1).Generate(20000)
+	}
+	b.ReportMetric(workload.MeasureReadRatio(recs), "read_ratio")
+	b.ReportMetric(workload.MeasureColdRatio(recs), "cold_ratio")
+}
+
+// --- Characterization figures ----------------------------------------------
+
+func benchLab(b *testing.B, samples int) *charz.Lab {
+	b.Helper()
+	return charz.DefaultLab(samples, 1)
+}
+
+func BenchmarkFig4bRBERLadder(b *testing.B) {
+	lab := benchLab(b, 1500)
+	var final int
+	for i := 0; i < b.N; i++ {
+		s, err := lab.RBERLadder(2000, 12, 18)
+		if err != nil {
+			b.Fatal(err)
+		}
+		final = s.ErrorsPerStep[s.StepsNeeded]
+	}
+	b.ReportMetric(float64(final), "final_step_errors")
+}
+
+func BenchmarkFig5RetrySteps(b *testing.B) {
+	lab := benchLab(b, 1500)
+	var mean float64
+	for i := 0; i < b.N; i++ {
+		mean = lab.RetrySteps(2000, 12, 30).Mean
+	}
+	b.ReportMetric(mean, "mean_retry_steps")
+}
+
+func BenchmarkFig7ECCMargin(b *testing.B) {
+	lab := benchLab(b, 1500)
+	var margin int
+	for i := 0; i < b.N; i++ {
+		pts := lab.FinalStepMargin([]int{2000}, []float64{12}, []float64{30})
+		margin = pts[0].Margin
+	}
+	b.ReportMetric(float64(margin), "margin_bits")
+}
+
+func BenchmarkFig8TimingSweep(b *testing.B) {
+	lab := benchLab(b, 1500)
+	reds := []nand.Reduction{
+		{Pre: nand.LevelFraction(6)}, {Pre: nand.LevelFraction(7)}, {Pre: nand.LevelFraction(8)},
+	}
+	var delta int
+	for i := 0; i < b.N; i++ {
+		pts := lab.TimingSweep(2000, 12, 85, reds)
+		delta = pts[1].DeltaErr
+	}
+	b.ReportMetric(float64(delta), "dM_at_47pct")
+}
+
+func BenchmarkFig9Combined(b *testing.B) {
+	lab := benchLab(b, 1500)
+	red := []nand.Reduction{{Pre: nand.LevelFraction(8), Disch: nand.LevelFraction(3)}}
+	var m int
+	for i := 0; i < b.N; i++ {
+		m = lab.TimingSweep(1000, 0, 85, red)[0].MErr
+	}
+	b.ReportMetric(float64(m), "combined_MERR")
+}
+
+func BenchmarkFig10Temperature(b *testing.B) {
+	lab := benchLab(b, 1500)
+	var delta int
+	for i := 0; i < b.N; i++ {
+		pts := lab.TemperatureSweep(2000, 12, []float64{30}, []int{6})
+		delta = pts[0].DeltaErr
+	}
+	b.ReportMetric(float64(delta), "cold_extra_errors")
+}
+
+func BenchmarkFig11RPT(b *testing.B) {
+	model := vth.NewModel(vth.DefaultParams(), 1)
+	var table *rpt.Table
+	for i := 0; i < b.N; i++ {
+		var err error
+		table, err = rpt.Profile(model, rpt.DefaultConfig())
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(nand.LevelFraction(table.MinLevel())*100, "min_reduction_pct")
+	b.ReportMetric(nand.LevelFraction(table.MaxLevel())*100, "max_reduction_pct")
+}
+
+// --- Mechanism figures -------------------------------------------------------
+
+func BenchmarkFig12PR2Latency(b *testing.B) {
+	tm := experiments.PaperTimings()
+	var saved float64
+	for i := 0; i < b.N; i++ {
+		base := core.BuildPlan(core.Baseline, 10, tm, core.Options{}).Latency()
+		pr := core.BuildPlan(core.PR2, 10, tm, core.Options{}).Latency()
+		saved = (base - pr).Microseconds()
+	}
+	b.ReportMetric(saved, "saved_us_at_N10")
+}
+
+func BenchmarkFig13AR2Latency(b *testing.B) {
+	tm := experiments.PaperTimings()
+	var both float64
+	for i := 0; i < b.N; i++ {
+		both = core.BuildPlan(core.PnAR2, 10, tm, core.Options{}).Latency().Microseconds()
+	}
+	b.ReportMetric(both, "pnar2_us_at_N10")
+}
+
+// --- System-level figures -----------------------------------------------------
+
+// benchSSDConfig returns a small device for per-iteration simulation.
+func benchSSDConfig() ssd.Config {
+	cfg := ssd.ExperimentConfig()
+	cfg.Geometry.BlocksPerPlane = 24
+	cfg.Geometry.PagesPerBlock = 48
+	cfg.GCThresholdBlocks = 3
+	cfg.PreconditionPages = cfg.TotalPages() * 7 / 10
+	return cfg
+}
+
+func benchTrace(b *testing.B, cfg ssd.Config, name string, n int) []trace.Record {
+	b.Helper()
+	spec, err := workload.ByName(name)
+	if err != nil {
+		b.Fatal(err)
+	}
+	spec.FootprintPages = cfg.TotalPages() * 6 / 10
+	spec.AvgIOPS = 1200
+	return workload.NewGenerator(spec, 7).Generate(n)
+}
+
+func runScheme(b *testing.B, cfg ssd.Config, recs []trace.Record, s core.Scheme, pso bool) *ssd.Stats {
+	b.Helper()
+	c := cfg
+	c.Scheme = s
+	c.UsePSO = pso
+	dev, err := ssd.New(c)
+	if err != nil {
+		b.Fatal(err)
+	}
+	st, err := dev.Run(recs)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return st
+}
+
+func BenchmarkFig14ResponseTime(b *testing.B) {
+	cfg := benchSSDConfig()
+	cfg.PEC, cfg.RetentionMonths = 2000, 6
+	recs := benchTrace(b, cfg, "YCSB-C", 1000)
+	var norm float64
+	for i := 0; i < b.N; i++ {
+		base := runScheme(b, cfg, recs, core.Baseline, false)
+		both := runScheme(b, cfg, recs, core.PnAR2, false)
+		norm = both.MeanAll() / base.MeanAll()
+	}
+	b.ReportMetric(norm, "pnar2_normalized_rt")
+}
+
+func BenchmarkFig15PSO(b *testing.B) {
+	cfg := benchSSDConfig()
+	cfg.PEC, cfg.RetentionMonths = 2000, 12
+	recs := benchTrace(b, cfg, "YCSB-C", 1000)
+	var gain float64
+	for i := 0; i < b.N; i++ {
+		pso := runScheme(b, cfg, recs, core.Baseline, true)
+		combo := runScheme(b, cfg, recs, core.PnAR2, true)
+		gain = 1 - combo.MeanAll()/pso.MeanAll()
+	}
+	b.ReportMetric(gain*100, "combo_gain_pct")
+}
+
+// --- Ablations (DESIGN.md §6) -------------------------------------------------
+
+func BenchmarkAblationPR2NoReset(b *testing.B) {
+	cfg := benchSSDConfig()
+	cfg.PEC, cfg.RetentionMonths = 2000, 6
+	cfg.Scheme = core.PR2
+	recs := benchTrace(b, cfg, "YCSB-A", 1000)
+	var penalty float64
+	for i := 0; i < b.N; i++ {
+		with := runScheme(b, cfg, recs, core.PR2, false)
+		noReset := cfg
+		noReset.CoreOpts.NoSpeculativeReset = true
+		dev, err := ssd.New(noReset)
+		if err != nil {
+			b.Fatal(err)
+		}
+		st, err := dev.Run(recs)
+		if err != nil {
+			b.Fatal(err)
+		}
+		penalty = st.MeanAll()/with.MeanAll() - 1
+	}
+	b.ReportMetric(penalty*100, "no_reset_penalty_pct")
+}
+
+func BenchmarkAblationAR2PerStepSet(b *testing.B) {
+	tm := experiments.PaperTimings()
+	var extra float64
+	for i := 0; i < b.N; i++ {
+		once := core.BuildPlan(core.AR2, 10, tm, core.Options{}).Latency()
+		per := core.BuildPlan(core.AR2, 10, tm, core.Options{PerStepSetFeature: true}).Latency()
+		extra = (per - once).Microseconds()
+	}
+	b.ReportMetric(extra, "per_step_set_cost_us")
+}
+
+func BenchmarkAblationRPTMargin(b *testing.B) {
+	model := vth.NewModel(vth.DefaultParams(), 1)
+	var lost float64
+	for i := 0; i < b.N; i++ {
+		aggressive := rpt.DefaultConfig()
+		aggressive.SafetyMarginBits = 0
+		a, err := rpt.Profile(model, aggressive)
+		if err != nil {
+			b.Fatal(err)
+		}
+		safe, err := rpt.Profile(model, rpt.DefaultConfig())
+		if err != nil {
+			b.Fatal(err)
+		}
+		lost = nand.LevelFraction(a.Lookup(2000, 12))*100 -
+			nand.LevelFraction(safe.Lookup(2000, 12))*100
+	}
+	b.ReportMetric(lost, "margin_cost_pct_points")
+}
+
+func BenchmarkAblationDischargeShave(b *testing.B) {
+	// §5.2.2's conclusion: shaving tDISCH 7 % on top of the tPRE cut buys
+	// 1.75 % of tR but can cost up to 5.6 % of the ECC capability.
+	model := vth.NewModel(vth.DefaultParams(), 1)
+	tm := nand.DefaultTiming()
+	cond := vth.Condition{PEC: 2000, RetentionMonths: 12, TempC: 30}
+	var costBits float64
+	for i := 0; i < b.N; i++ {
+		preOnly := nand.Reduction{Pre: nand.LevelFraction(6)}
+		withDisch := nand.Reduction{Pre: nand.LevelFraction(6), Disch: nand.LevelFraction(1)}
+		costBits = float64(model.MaxTimingPenalty(cond, withDisch) -
+			model.MaxTimingPenalty(cond, preOnly))
+	}
+	b.ReportMetric(costBits, "extra_error_bits")
+	b.ReportMetric(tm.TRFraction(nand.Reduction{Disch: nand.LevelFraction(1)})*100, "tR_gain_pct")
+}
+
+func BenchmarkAblationScheduler(b *testing.B) {
+	cfg := benchSSDConfig()
+	cfg.PEC, cfg.RetentionMonths = 1000, 3
+	recs := benchTrace(b, cfg, "hm_0", 1500)
+	var penalty float64
+	for i := 0; i < b.N; i++ {
+		with := runScheme(b, cfg, recs, core.Baseline, false)
+		plain := cfg
+		plain.DisableSuspension = true
+		plain.DisableReadPrio = true
+		dev, err := ssd.New(plain)
+		if err != nil {
+			b.Fatal(err)
+		}
+		st, err := dev.Run(recs)
+		if err != nil {
+			b.Fatal(err)
+		}
+		penalty = st.MeanRead()/with.MeanRead() - 1
+	}
+	b.ReportMetric(penalty*100, "no_sched_read_penalty_pct")
+}
+
+// --- §8 extension benches -------------------------------------------------------
+
+func BenchmarkExtensionRegularReads(b *testing.B) {
+	// §8 "Latency Reduction for Regular Reads": RPT-safe timing on every
+	// initial sensing, measured on a young device where no retries occur.
+	cfg := benchSSDConfig()
+	cfg.Scheme = core.AR2
+	cfg.PEC, cfg.RetentionMonths = 250, 0.2
+	recs := benchTrace(b, cfg, "YCSB-C", 1000)
+	var gain float64
+	for i := 0; i < b.N; i++ {
+		plain := runScheme(b, cfg, recs, core.AR2, false)
+		ext := cfg
+		ext.ReducedRegularReads = true
+		dev, err := ssd.New(ext)
+		if err != nil {
+			b.Fatal(err)
+		}
+		st, err := dev.Run(recs)
+		if err != nil {
+			b.Fatal(err)
+		}
+		gain = 1 - st.MeanRead()/plain.MeanRead()
+	}
+	b.ReportMetric(gain*100, "clean_read_gain_pct")
+}
+
+func BenchmarkExtensionDriftPredictor(b *testing.B) {
+	// §8 "Further Reduction of Read-Retry Latency": model-guided ladder
+	// start, compared with the PSO history-based baseline.
+	cfg := benchSSDConfig()
+	cfg.PEC, cfg.RetentionMonths = 2000, 12
+	recs := benchTrace(b, cfg, "YCSB-C", 1000)
+	var predSteps, psoSteps float64
+	for i := 0; i < b.N; i++ {
+		pso := runScheme(b, cfg, recs, core.Baseline, true)
+		pred := cfg
+		pred.UseDriftPredictor = true
+		dev, err := ssd.New(pred)
+		if err != nil {
+			b.Fatal(err)
+		}
+		st, err := dev.Run(recs)
+		if err != nil {
+			b.Fatal(err)
+		}
+		predSteps, psoSteps = st.MeanRetrySteps(), pso.MeanRetrySteps()
+	}
+	b.ReportMetric(predSteps, "predictor_mean_steps")
+	b.ReportMetric(psoSteps, "pso_mean_steps")
+}
+
+// --- Substrate micro-benchmarks -------------------------------------------------
+
+func BenchmarkLDPCSoftDecode(b *testing.B) {
+	code, err := ecc.NewArrayLDPC(61, 4, 24)
+	if err != nil {
+		b.Fatal(err)
+	}
+	r := rng.New(1)
+	data := make([]byte, (code.K()+7)/8)
+	for i := range data {
+		data[i] = byte(r.Uint64())
+	}
+	if rem := code.K() % 8; rem != 0 {
+		data[len(data)-1] &= byte(0xFF << (8 - rem))
+	}
+	cw, err := code.Encode(data)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		corrupted := append([]byte(nil), cw...)
+		for e := 0; e < 6; e++ {
+			pos := r.Intn(code.N())
+			corrupted[pos/8] ^= 1 << (7 - uint(pos%8))
+		}
+		b.StartTimer()
+		if _, err := code.DecodeSoft(code.HardLLR(corrupted, 2.0), 50); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkVthModelRead(b *testing.B) {
+	model := vth.NewModel(vth.DefaultParams(), 1)
+	cond := vth.Condition{PEC: 2000, RetentionMonths: 12, TempC: 30}
+	var steps int
+	for i := 0; i < b.N; i++ {
+		pg := vth.PageID{Chip: i % 160, Block: i % 120, Page: i % 576}
+		steps = model.Read(pg, cond, nand.CSB, nand.Reduction{}).RetrySteps
+	}
+	_ = steps
+}
+
+func BenchmarkBCHEncode(b *testing.B) {
+	code, err := ecc.NewBCH(13, 8, 4096)
+	if err != nil {
+		b.Fatal(err)
+	}
+	r := rng.New(1)
+	data := make([]byte, 512)
+	for i := range data {
+		data[i] = byte(r.Uint64())
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := code.Encode(data); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.SetBytes(int64(len(data)))
+}
+
+func BenchmarkBCHDecode(b *testing.B) {
+	code, err := ecc.NewBCH(13, 8, 4096)
+	if err != nil {
+		b.Fatal(err)
+	}
+	r := rng.New(1)
+	data := make([]byte, 512)
+	for i := range data {
+		data[i] = byte(r.Uint64())
+	}
+	parity, err := code.Encode(data)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		corrupted := append([]byte(nil), data...)
+		for e := 0; e < code.T(); e++ {
+			pos := r.Intn(code.DataBits())
+			corrupted[pos/8] ^= 1 << (7 - uint(pos%8))
+		}
+		par := append([]byte(nil), parity...)
+		b.StartTimer()
+		if _, err := code.Decode(corrupted, par); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.SetBytes(int64(len(data)))
+}
+
+func BenchmarkSSDSimulationThroughput(b *testing.B) {
+	cfg := benchSSDConfig()
+	cfg.PEC, cfg.RetentionMonths = 1000, 6
+	recs := benchTrace(b, cfg, "YCSB-B", 2000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		dev, err := ssd.New(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := dev.Run(recs); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(len(recs)), "requests/op")
+}

@@ -1,0 +1,382 @@
+// Command repro regenerates every table and figure of the paper's
+// evaluation and prints paper-reported versus measured values — the source
+// of EXPERIMENTS.md.
+//
+// Usage:
+//
+//	repro                  # everything, at the default scale
+//	repro -only fig14      # one experiment
+//	repro -quick           # reduced Figure 14/15 sweeps
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"readretry/internal/charz"
+	"readretry/internal/core"
+	"readretry/internal/ecc"
+	"readretry/internal/experiments"
+	"readretry/internal/nand"
+	"readretry/internal/rpt"
+	"readretry/internal/ssd"
+	"readretry/internal/trace"
+	"readretry/internal/vth"
+	"readretry/internal/workload"
+)
+
+var (
+	only    = flag.String("only", "all", "experiment to run: table1, table2, fig4b, fig5, fig7, fig8, fig9, fig10, fig11, fig12, fig13, fig14, fig15, or all")
+	quick   = flag.Bool("quick", false, "reduced Figure 14/15 sweeps")
+	samples = flag.Int("samples", 8000, "characterization sample reads per condition")
+	seed    = flag.Uint64("seed", 1, "process-variation seed")
+)
+
+func want(name string) bool { return *only == "all" || strings.EqualFold(*only, name) }
+
+func header(s string) {
+	fmt.Printf("\n==== %s %s\n", s, strings.Repeat("=", 70-len(s)))
+}
+
+func main() {
+	flag.Parse()
+	lab := charz.DefaultLab(*samples, *seed)
+	var comps []experiments.Comparison
+	add := func(figure, quantity, paper string, measured string) {
+		comps = append(comps, experiments.Comparison{
+			Figure: figure, Quantity: quantity, Paper: paper, Measured: measured,
+		})
+	}
+
+	if want("table1") {
+		header("Table 1: timing parameters")
+		experiments.RenderTable1(os.Stdout, nand.DefaultTiming())
+		add("Table 1", "average tR", "90 µs",
+			fmt.Sprintf("%v", nand.DefaultTiming().AvgTR()))
+	}
+
+	if want("table2") {
+		header("Table 2: workloads")
+		experiments.RenderTable2(os.Stdout)
+		spec, _ := workload.ByName("mds_1")
+		spec.FootprintPages = 1 << 16
+		recs := workload.NewGenerator(spec, *seed).Generate(20000)
+		add("Table 2", "mds_1 generated read ratio", "0.92",
+			fmt.Sprintf("%.2f", workload.MeasureReadRatio(recs)))
+	}
+
+	if want("fig4b") {
+		header("Figure 4b: RBER over the last retry steps")
+		var series []charz.LadderSeries
+		for _, n := range []int{16, 21} {
+			cond := [2]interface{}{2000, 12.0}
+			_ = cond
+			s, err := lab.RBERLadder(2000, 12, n)
+			if err != nil {
+				s, err = lab.RBERLadder(2000, 9, n)
+			}
+			if err != nil {
+				fmt.Printf("  (no page with N=%d found: %v)\n", n, err)
+				continue
+			}
+			series = append(series, s)
+		}
+		experiments.RenderFigure4b(os.Stdout, series)
+		if len(series) > 0 {
+			s := series[0]
+			add("Fig 4b", "final-step errors drop below ECC capability", "yes (≈30-60/KiB)",
+				fmt.Sprintf("yes (%d/KiB)", s.ErrorsPerStep[s.StepsNeeded]))
+			add("Fig 4b", "step N-1 errors (still failing)", "≈300/KiB",
+				fmt.Sprintf("%d/KiB", s.ErrorsPerStep[s.StepsNeeded-1]))
+		}
+	}
+
+	if want("fig6") {
+		header("Figure 6: CACHE READ pipelining for consecutive reads")
+		experiments.RenderFigure6(os.Stdout, nand.DefaultTiming(), ecc.DefaultEngine().DecodeLatency)
+		add("Fig 6", "CACHE READ saving per pipelined read", "tDMA (16 µs)",
+			fmt.Sprintf("%v", experiments.Figure6Saving(nand.DefaultTiming())))
+	}
+
+	if want("fig5") {
+		header("Figure 5: read-retry characteristics")
+		grid := lab.Figure5([]int{0, 1000, 2000}, []float64{0, 1, 3, 6, 9, 12})
+		experiments.RenderFigure5(os.Stdout, grid)
+		find := func(pec int, mo float64) charz.RetryHistogram {
+			for _, h := range grid {
+				if h.PEC == pec && h.Months == mo {
+					return h
+				}
+			}
+			return charz.RetryHistogram{}
+		}
+		add("Fig 5", "fresh page (0, 0mo) retry steps", "0",
+			fmt.Sprintf("%d", find(0, 0).Max))
+		add("Fig 5", "min steps at (0, 3mo)", "> 3",
+			fmt.Sprintf("%d", find(0, 3).Min))
+		add("Fig 5", "P(N>=7) at (0, 6mo)", "54.4%",
+			fmt.Sprintf("%.1f%%", find(0, 6).FractionAtLeast(7)*100))
+		add("Fig 5", "P(N>=8) at (1K, 3mo)", "100%",
+			fmt.Sprintf("%.1f%%", find(1000, 3).FractionAtLeast(8)*100))
+		add("Fig 5", "mean steps at (2K, 12mo)", "19.9",
+			fmt.Sprintf("%.1f", find(2000, 12).Mean))
+	}
+
+	if want("fig7") {
+		header("Figure 7: ECC-capability margin in the final retry step")
+		pts := lab.FinalStepMargin([]int{0, 1000, 2000}, []float64{0, 3, 6, 9, 12},
+			[]float64{85, 55, 30})
+		experiments.RenderFigure7(os.Stdout, pts, ecc.DefaultEngine().Capability)
+		find := func(pec int, mo, temp float64) charz.MarginPoint {
+			for _, p := range pts {
+				if p.PEC == pec && p.Months == mo && p.TempC == temp {
+					return p
+				}
+			}
+			return charz.MarginPoint{}
+		}
+		add("Fig 7", "M_ERR(0, 3mo) at 85°C", "15",
+			fmt.Sprintf("%d", find(0, 3, 85).MErr))
+		add("Fig 7", "M_ERR(1K, 12mo) at 85°C", "30",
+			fmt.Sprintf("%d", find(1000, 12, 85).MErr))
+		add("Fig 7", "M_ERR(2K, 12mo) at 85°C", "35",
+			fmt.Sprintf("%d", find(2000, 12, 85).MErr))
+		worst := find(2000, 12, 30)
+		add("Fig 7", "worst-case margin (2K, 12mo, 30°C)", "44.4%",
+			fmt.Sprintf("%.1f%%", float64(worst.Margin)/72*100))
+	}
+
+	if want("fig8") {
+		header("Figure 8: individual read-timing reduction")
+		var reds []nand.Reduction
+		for l := 1; l <= 9; l++ {
+			reds = append(reds, nand.Reduction{Pre: nand.LevelFraction(l)})
+		}
+		pre := lab.TimingSweep(2000, 12, 85, reds)
+		experiments.RenderSweep(os.Stdout, "  tPRE sweep at (2K, 12mo), 85°C", pre)
+		evalPts := lab.TimingSweep(0, 0, 85, []nand.Reduction{{Eval: 0.20}})
+		maxSafe := func(pts []charz.SweepPoint, frac func(charz.SweepPoint) float64) float64 {
+			best := 0.0
+			for _, p := range pts {
+				if p.MErr <= 72 && frac(p) > best {
+					best = frac(p)
+				}
+			}
+			return best
+		}
+		add("Fig 8a", "max safe tPRE reduction at (2K, 12mo)", "47%",
+			fmt.Sprintf("%.0f%%", maxSafe(pre, func(p charz.SweepPoint) float64 { return p.Red.Pre })*100))
+		add("Fig 8b", "ΔM_ERR of 20% tEVAL cut on a fresh page", "≈30",
+			fmt.Sprintf("%d", evalPts[0].DeltaErr))
+		var disch []nand.Reduction
+		for l := 1; l <= 6; l++ {
+			disch = append(disch, nand.Reduction{Disch: nand.LevelFraction(l)})
+		}
+		dpts := lab.TimingSweep(2000, 12, 85, disch)
+		experiments.RenderSweep(os.Stdout, "  tDISCH sweep at (2K, 12mo), 85°C", dpts)
+		add("Fig 8c", "max safe tDISCH reduction at (2K, 12mo)", "27%",
+			fmt.Sprintf("%.0f%%", maxSafe(dpts, func(p charz.SweepPoint) float64 { return p.Red.Disch })*100))
+	}
+
+	if want("fig9") {
+		header("Figure 9: combined tPRE + tDISCH reduction")
+		pre := lab.TimingSweep(1000, 0, 85, []nand.Reduction{{Pre: nand.LevelFraction(8)}})[0]
+		dis := lab.TimingSweep(1000, 0, 85, []nand.Reduction{{Disch: nand.LevelFraction(3)}})[0]
+		both := lab.TimingSweep(1000, 0, 85, []nand.Reduction{{
+			Pre: nand.LevelFraction(8), Disch: nand.LevelFraction(3)}})[0]
+		experiments.RenderSweep(os.Stdout, "  at (1K, 0mo), 85°C",
+			[]charz.SweepPoint{pre, dis, both})
+		add("Fig 9", "ΔM_ERR of 54% tPRE alone at (1K, 0)", "≈35",
+			fmt.Sprintf("%d", pre.DeltaErr))
+		add("Fig 9", "ΔM_ERR of 20% tDISCH alone at (1K, 0)", "≈8",
+			fmt.Sprintf("%d", dis.DeltaErr))
+		add("Fig 9", "combined ⟨54%, 20%⟩ exceeds capability", "yes",
+			fmt.Sprintf("yes (M_ERR=%d)", both.MErr))
+		worst7 := 0
+		for _, pec := range []int{0, 1000, 2000} {
+			for _, mo := range []float64{0, 12} {
+				p := lab.TimingSweep(pec, mo, 85, []nand.Reduction{{Disch: nand.LevelFraction(1)}})[0]
+				if p.DeltaErr > worst7 {
+					worst7 = p.DeltaErr
+				}
+			}
+		}
+		add("Fig 9", "7% tDISCH cut worst-case ΔM_ERR", "≤4",
+			fmt.Sprintf("%d", worst7))
+	}
+
+	if want("fig10") {
+		header("Figure 10: temperature effect on tPRE reduction")
+		pts := lab.TemperatureSweep(2000, 12, []float64{55, 30}, []int{6})
+		experiments.RenderSweep(os.Stdout, "  40% tPRE at (2K, 12mo) — dM_ERR is increase over 85°C", pts)
+		add("Fig 10", "extra errors at 30°C vs 85°C (2K, 12mo, 40% tPRE)", "≤7",
+			fmt.Sprintf("%d", pts[1].DeltaErr))
+	}
+
+	if want("fig11") {
+		header("Figure 11: minimum safe tPRE (RPT contents)")
+		pts := lab.MinSafeTPre([]int{0, 1000, 2000}, []float64{0, 1, 3, 6, 9, 12}, 14)
+		experiments.RenderFigure11(os.Stdout, pts)
+		min, max := 1.0, 0.0
+		for _, p := range pts {
+			if p.Reduction < min {
+				min = p.Reduction
+			}
+			if p.Reduction > max {
+				max = p.Reduction
+			}
+		}
+		add("Fig 11", "tPRE reduction range with 14-bit margin", "40%..54%",
+			fmt.Sprintf("%.0f%%..%.0f%%", min*100, max*100))
+		table, err := rpt.Profile(vth.NewModel(vth.DefaultParams(), *seed), rpt.DefaultConfig())
+		if err == nil {
+			if data, err := table.MarshalBinary(); err == nil {
+				add("§6.2", "RPT storage for 36 entries", "144 B",
+					fmt.Sprintf("%d B", len(data)))
+			}
+		}
+	}
+
+	if want("fig12") {
+		header("Figure 12: PR2 latency")
+		tm := experiments.PaperTimings()
+		experiments.RenderFigure12(os.Stdout, tm)
+		base := float64(tm.SenseDefault + tm.DMA + tm.ECC)
+		pr := float64(tm.SenseDefault)
+		add("§6.1", "retry-step latency reduction from pipelining", "28.5%",
+			fmt.Sprintf("%.1f%%", (1-pr/base)*100))
+	}
+
+	if want("fig13") {
+		header("Figure 13: AR2 latency")
+		tm := experiments.PaperTimings()
+		experiments.RenderFigure13(os.Stdout, tm)
+		add("§5.2.3", "tR reduction from 40% tPRE cut", "25%",
+			fmt.Sprintf("%.1f%%", (1-float64(tm.SenseReduced)/float64(tm.SenseDefault))*100))
+	}
+
+	if want("fig14") || want("fig15") {
+		cfg := experiments.DefaultConfig()
+		if *quick {
+			cfg = experiments.QuickConfig()
+		}
+		if want("fig14") {
+			header("Figure 14: SSD response time (normalized to Baseline)")
+			res, err := experiments.Figure14(cfg)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "repro: fig14: %v\n", err)
+				os.Exit(1)
+			}
+			res.Render(os.Stdout)
+			prAvg, prMax := res.Reduction("PR2", "Baseline", false)
+			arAvg, arMax := res.Reduction("AR2", "Baseline", false)
+			bothAvg, bothMax := res.Reduction("PnAR2", "Baseline", false)
+			add("Fig 14", "PR2 response-time reduction (avg / max)", "17.7% / 38.3%",
+				fmt.Sprintf("%.1f%% / %.1f%%", prAvg*100, prMax*100))
+			add("Fig 14", "AR2 response-time reduction (avg / max)", "11.9% / 18.1%",
+				fmt.Sprintf("%.1f%% / %.1f%%", arAvg*100, arMax*100))
+			add("Fig 14", "PnAR2 response-time reduction (avg / max)", "28.9% / 51.8%",
+				fmt.Sprintf("%.1f%% / %.1f%%", bothAvg*100, bothMax*100))
+			add("Fig 14", "PnAR2 reduction at (2K, 6mo)", "35.2%",
+				fmt.Sprintf("%.1f%%", res.ReductionAt("PnAR2", "Baseline",
+					experiments.Condition{PEC: 2000, Months: 6})*100))
+			add("Fig 14", "Baseline→NoRR gap closed by PnAR2", "41%",
+				fmt.Sprintf("%.0f%%", res.GapClosed("PnAR2")*100))
+			add("Fig 14", "PnAR2 response time vs ideal NoRR", "2.37x",
+				fmt.Sprintf("%.2fx", res.RatioToNoRR("PnAR2", false)))
+		}
+		if want("fig15") {
+			header("Figure 15: combining with PSO (normalized to Baseline)")
+			res, err := experiments.Figure15(cfg)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "repro: fig15: %v\n", err)
+				os.Exit(1)
+			}
+			res.Render(os.Stdout)
+			add("Fig 15", "PSO response time vs NoRR (read-dominant)", "1.92x avg (≤4.31x)",
+				fmt.Sprintf("%.2fx avg", res.RatioToNoRR("PSO", true)))
+			rdAvg, rdMax := res.Reduction("PSO+PnAR2", "PSO", true)
+			add("Fig 15", "PSO+PnAR2 over PSO, read-dominant (avg / max)", "17% / 31.5%",
+				fmt.Sprintf("%.1f%% / %.1f%%", rdAvg*100, rdMax*100))
+			wrAvg, wrMax := res.ReductionWhere("PSO+PnAR2", "PSO",
+				func(s workload.Spec) bool { return !s.ReadDominant() })
+			add("Fig 15", "PSO+PnAR2 over PSO, write-dominant (avg / max)", "3.6% / 9.4%",
+				fmt.Sprintf("%.1f%% / %.1f%%", wrAvg*100, wrMax*100))
+			add("Fig 15", "PSO+PnAR2 vs NoRR (read-dominant)", "1.6x",
+				fmt.Sprintf("%.2fx", res.RatioToNoRR("PSO+PnAR2", true)))
+		}
+	}
+
+	if want("ext") {
+		header("§8 extensions (beyond the paper)")
+		runExtensions(add)
+	}
+
+	if len(comps) > 0 {
+		header("Paper vs measured")
+		experiments.RenderComparisons(os.Stdout, comps)
+	}
+}
+
+// runExtensions measures the two implemented §8 directions.
+func runExtensions(add func(figure, quantity, paper, measured string)) {
+	cfg := ssd.ExperimentConfig()
+	cfg.Geometry.BlocksPerPlane = 24
+	cfg.Geometry.PagesPerBlock = 48
+	cfg.GCThresholdBlocks = 3
+	cfg.PreconditionPages = cfg.TotalPages() * 7 / 10
+
+	mkTrace := func(n int) []trace.Record {
+		spec, err := workload.ByName("YCSB-C")
+		if err != nil {
+			panic(err)
+		}
+		spec.FootprintPages = cfg.TotalPages() * 6 / 10
+		spec.AvgIOPS = 800
+		return workload.NewGenerator(spec, 7).Generate(n)
+	}
+	run := func(c ssd.Config, recs []trace.Record) *ssd.Stats {
+		dev, err := ssd.New(c)
+		if err != nil {
+			panic(err)
+		}
+		st, err := dev.Run(recs)
+		if err != nil {
+			panic(err)
+		}
+		return st
+	}
+
+	// Extension 1: reduced-timing regular reads on a young device.
+	young := cfg
+	young.Scheme = core.AR2
+	young.PEC, young.RetentionMonths = 250, 0.2
+	recs := mkTrace(2000)
+	plain := run(young, recs)
+	young.ReducedRegularReads = true
+	reduced := run(young, recs)
+	gain := 1 - reduced.MeanRead()/plain.MeanRead()
+	fmt.Printf("  reduced regular reads (young device): %.0f µs -> %.0f µs mean read\n",
+		plain.MeanRead(), reduced.MeanRead())
+	add("§8 ext 1", "regular-read latency cut on a retry-free device",
+		"(proposed)", fmt.Sprintf("%.1f%%", gain*100))
+
+	// Extension 2: model-guided ladder start on an aged device.
+	aged := cfg
+	aged.PEC, aged.RetentionMonths = 2000, 12
+	recs = mkTrace(2000)
+	base := run(aged, recs)
+	psoCfg := aged
+	psoCfg.UsePSO = true
+	pso := run(psoCfg, recs)
+	predCfg := aged
+	predCfg.UseDriftPredictor = true
+	pred := run(predCfg, recs)
+	fmt.Printf("  mean retry steps at (2K, 12mo): baseline %.1f, PSO %.1f, predictor %.1f\n",
+		base.MeanRetrySteps(), pso.MeanRetrySteps(), pred.MeanRetrySteps())
+	add("§8 ext 2", "mean retry steps with model-guided start (vs PSO history)",
+		"(proposed; Sentinel [56]: 6.6->1.2)",
+		fmt.Sprintf("%.1f (PSO %.1f)", pred.MeanRetrySteps(), pso.MeanRetrySteps()))
+}

@@ -1,0 +1,224 @@
+// Package chip combines the structural NAND model (internal/nand) with the
+// calibrated error model (internal/vth) into a behavioral 3D TLC NAND flash
+// chip: per-block P/E-cycle and retention state, the read-timing feature
+// register programmed via SET FEATURE, and read-retry execution.
+//
+// A Fleet of 160 such chips stands in for the population the paper
+// characterizes; the characterization lab (internal/charz) and the SSD
+// simulator (internal/ssd) both drive chips through this interface.
+package chip
+
+import (
+	"fmt"
+
+	"readretry/internal/nand"
+	"readretry/internal/sim"
+	"readretry/internal/vth"
+)
+
+// BlockState tracks the reliability-relevant state of one physical block —
+// exactly the metadata the paper notes a regular SSD already maintains
+// (footnote 12): P/E-cycle count and programming time (expressed here as an
+// effective retention age).
+type BlockState struct {
+	PEC             int
+	RetentionMonths float64
+}
+
+// Chip is one behavioral NAND flash chip.
+type Chip struct {
+	geom   nand.Geometry
+	timing nand.Timing
+	model  *vth.Model
+	index  int
+	blocks []BlockState
+	// features is the read-timing feature register (SET FEATURE target).
+	features nand.FeatureRegister
+	// Counters for observability.
+	setFeatureCount int
+	resetCount      int
+}
+
+// New builds a chip with the given geometry and timing over a shared error
+// model. index identifies the chip within its fleet for process variation.
+func New(geom nand.Geometry, timing nand.Timing, model *vth.Model, index int) (*Chip, error) {
+	if err := geom.Validate(); err != nil {
+		return nil, err
+	}
+	return &Chip{
+		geom:   geom,
+		timing: timing,
+		model:  model,
+		index:  index,
+		blocks: make([]BlockState, geom.Dies*geom.BlocksPerDie()),
+	}, nil
+}
+
+// Geometry returns the chip's organization.
+func (c *Chip) Geometry() nand.Geometry { return c.geom }
+
+// Timing returns the chip's timing parameters.
+func (c *Chip) Timing() nand.Timing { return c.timing }
+
+// Model returns the underlying error model.
+func (c *Chip) Model() *vth.Model { return c.model }
+
+// Index returns the chip's position in its fleet.
+func (c *Chip) Index() int { return c.index }
+
+// Block returns a pointer to the block's state for inspection or
+// preconditioning. It panics on an out-of-range block, which indicates an
+// addressing bug.
+func (c *Chip) Block(b nand.BlockID) *BlockState {
+	idx := b.Linear(c.geom)
+	if idx < 0 || idx >= len(c.blocks) {
+		panic(fmt.Sprintf("chip: block %+v out of range", b))
+	}
+	return &c.blocks[idx]
+}
+
+// SetCondition preconditions every block of the chip to the given P/E-cycle
+// count and retention age — the accelerated-aging step of a characterization
+// run.
+func (c *Chip) SetCondition(pec int, retentionMonths float64) {
+	for i := range c.blocks {
+		c.blocks[i] = BlockState{PEC: pec, RetentionMonths: retentionMonths}
+	}
+}
+
+// Condition returns the error-model condition for a block at the given
+// operating temperature.
+func (c *Chip) Condition(b nand.BlockID, tempC float64) vth.Condition {
+	st := c.Block(b)
+	return vth.Condition{PEC: st.PEC, RetentionMonths: st.RetentionMonths, TempC: tempC}
+}
+
+// pageID returns the process-variation identity of a page.
+func (c *Chip) pageID(a nand.Address) vth.PageID {
+	return vth.PageID{
+		Chip:  c.index,
+		Block: a.BlockOf().Linear(c.geom),
+		Page:  a.Page,
+	}
+}
+
+// SetFeature programs the read-timing feature register and returns the
+// command latency (tSET).
+func (c *Chip) SetFeature(reg nand.FeatureRegister) sim.Time {
+	c.features = reg
+	c.setFeatureCount++
+	return c.timing.TSet
+}
+
+// ResetFeature restores the manufacturer-default read timing and returns
+// the command latency (tSET) — AR²'s rollback step ❹.
+func (c *Chip) ResetFeature() sim.Time {
+	return c.SetFeature(nand.FeatureRegister{})
+}
+
+// Features returns the current feature register (GET FEATURE).
+func (c *Chip) Features() nand.FeatureRegister { return c.features }
+
+// SetFeatureCount returns how many SET FEATURE commands the chip has seen.
+func (c *Chip) SetFeatureCount() int { return c.setFeatureCount }
+
+// Reset models the RESET command terminating an in-flight read and returns
+// its latency (tRST).
+func (c *Chip) Reset() sim.Time {
+	c.resetCount++
+	return c.timing.TRst
+}
+
+// ResetCount returns how many RESET commands the chip has seen.
+func (c *Chip) ResetCount() int { return c.resetCount }
+
+// SenseTime returns tR for a page under the current feature register.
+func (c *Chip) SenseTime(a nand.Address) sim.Time {
+	return c.timing.TR(c.geom.PageType(a.Page), c.features.Reduction())
+}
+
+// DefaultSenseTime returns tR for a page with manufacturer-default timing.
+func (c *Chip) DefaultSenseTime(a nand.Address) sim.Time {
+	return c.timing.TR(c.geom.PageType(a.Page), nand.Reduction{})
+}
+
+// ReadRetry walks the full read-retry ladder for the page under the current
+// feature register and operating temperature, returning the error model's
+// outcome (retry steps, final error count, failure).
+func (c *Chip) ReadRetry(a nand.Address, tempC float64) vth.ReadResult {
+	if !a.Valid(c.geom) {
+		panic(fmt.Sprintf("chip: invalid address %v", a))
+	}
+	pt := c.geom.PageType(a.Page)
+	return c.model.Read(c.pageID(a), c.Condition(a.BlockOf(), tempC), pt, c.features.Reduction())
+}
+
+// StepErrors returns the raw bit errors per 1 KiB observed at a specific
+// retry step (0 = initial read) — the per-step RBER measurement the
+// characterization platform performs (§4).
+func (c *Chip) StepErrors(a nand.Address, tempC float64, step int) int {
+	pt := c.geom.PageType(a.Page)
+	return c.model.StepErrors(c.pageID(a), c.Condition(a.BlockOf(), tempC), pt, step, c.features.Reduction())
+}
+
+// PageDrift exposes the page's V_OPT displacement in ladder steps — the
+// quantity PSO-style controllers estimate and cache.
+func (c *Chip) PageDrift(a nand.Address, tempC float64) float64 {
+	return c.model.PageDrift(c.pageID(a), c.Condition(a.BlockOf(), tempC))
+}
+
+// Program models programming a page: the block's retention age resets (the
+// model tracks retention at block granularity, matching how the FTL
+// allocates whole blocks before rewriting them). It returns tPROG.
+func (c *Chip) Program(a nand.Address) sim.Time {
+	st := c.Block(a.BlockOf())
+	st.RetentionMonths = 0
+	return c.timing.TProg
+}
+
+// Erase models a block erase: the block's P/E-cycle count increments and
+// retention resets. It returns tBERS.
+func (c *Chip) Erase(b nand.BlockID) sim.Time {
+	st := c.Block(b)
+	st.PEC++
+	st.RetentionMonths = 0
+	return c.timing.TBers
+}
+
+// Fleet is a population of chips sharing one error model — the 160-chip
+// testbed of the characterization study.
+type Fleet struct {
+	Chips []*Chip
+}
+
+// NewFleet builds n chips with identical geometry/timing over a fresh error
+// model seeded by seed.
+func NewFleet(n int, geom nand.Geometry, timing nand.Timing, params vth.Params, seed uint64) (*Fleet, error) {
+	model := vth.NewModel(params, seed)
+	f := &Fleet{Chips: make([]*Chip, n)}
+	for i := range f.Chips {
+		c, err := New(geom, timing, model, i)
+		if err != nil {
+			return nil, err
+		}
+		f.Chips[i] = c
+	}
+	return f, nil
+}
+
+// DefaultFleet builds the paper's testbed: 160 chips with default geometry,
+// timing, and the calibrated error model.
+func DefaultFleet(seed uint64) *Fleet {
+	f, err := NewFleet(160, nand.DefaultGeometry(), nand.DefaultTiming(), vth.DefaultParams(), seed)
+	if err != nil {
+		panic(err) // defaults are valid by construction
+	}
+	return f
+}
+
+// SetCondition preconditions every chip in the fleet.
+func (f *Fleet) SetCondition(pec int, retentionMonths float64) {
+	for _, c := range f.Chips {
+		c.SetCondition(pec, retentionMonths)
+	}
+}

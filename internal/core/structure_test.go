@@ -1,0 +1,184 @@
+package core
+
+import (
+	"testing"
+
+	"readretry/internal/sim"
+)
+
+// Structural tests on the operation DAGs: op counts, kinds, resource tags,
+// and step labels per scheme — the contract the SSD executor relies on.
+
+func countKind(p Plan, k OpKind) int {
+	n := 0
+	for _, op := range p.Ops {
+		if op.Kind == k {
+			n++
+		}
+	}
+	return n
+}
+
+func TestBaselinePlanStructure(t *testing.T) {
+	tm := paperTimings()
+	nrr := 4
+	p := BuildPlan(Baseline, nrr, tm, Options{})
+	if got := countKind(p, OpSense); got != nrr+1 {
+		t.Errorf("senses = %d, want %d", got, nrr+1)
+	}
+	if got := countKind(p, OpDMA); got != nrr+1 {
+		t.Errorf("DMAs = %d, want %d", got, nrr+1)
+	}
+	if got := countKind(p, OpECC); got != nrr+1 {
+		t.Errorf("ECCs = %d, want %d", got, nrr+1)
+	}
+	if countKind(p, OpSetFeature) != 0 || countKind(p, OpReset) != 0 {
+		t.Error("baseline must not issue SET FEATURE or RESET")
+	}
+	// Every sense after the first depends on the previous step's ECC.
+	for _, op := range p.Ops {
+		if op.Kind == OpSense && op.Step > 0 {
+			if len(op.Deps) != 1 || p.Ops[op.Deps[0]].Kind != OpECC {
+				t.Errorf("retry sense at step %d should gate on ECC", op.Step)
+			}
+		}
+	}
+}
+
+func TestPR2PlanStructure(t *testing.T) {
+	tm := paperTimings()
+	nrr := 4
+	p := BuildPlan(PR2, nrr, tm, Options{})
+	if got := countKind(p, OpReset); got != 1 {
+		t.Errorf("resets = %d, want 1 (speculation cleanup)", got)
+	}
+	// Senses chain on the die: each retry sense depends on a sense.
+	for _, op := range p.Ops {
+		if op.Kind == OpSense && op.Step > 0 && op.Step <= nrr {
+			if p.Ops[op.Deps[0]].Kind != OpSense {
+				t.Errorf("PR2 sense at step %d should chain on the previous sense", op.Step)
+			}
+		}
+	}
+	// The reset carries the speculative step's label.
+	reset := p.Ops[p.ReleaseOp]
+	if reset.Kind != OpReset || reset.Step != nrr+1 {
+		t.Errorf("release op = %v step %d, want reset of step %d", reset.Kind, reset.Step, nrr+1)
+	}
+}
+
+func TestAR2PlanStructure(t *testing.T) {
+	tm := paperTimings()
+	nrr := 3
+	p := BuildPlan(AR2, nrr, tm, Options{})
+	// One SET FEATURE to program the reduction, one to roll back.
+	if got := countKind(p, OpSetFeature); got != 2 {
+		t.Errorf("SET FEATUREs = %d, want 2", got)
+	}
+	// Retry senses use the reduced duration, the initial one the default.
+	for _, op := range p.Ops {
+		if op.Kind != OpSense {
+			continue
+		}
+		want := tm.SenseReduced
+		if op.Step == 0 {
+			want = tm.SenseDefault
+		}
+		if op.Dur != want {
+			t.Errorf("sense at step %d duration %v, want %v", op.Step, op.Dur, want)
+		}
+	}
+}
+
+func TestPnAR2PlanStructure(t *testing.T) {
+	tm := paperTimings()
+	nrr := 3
+	p := BuildPlan(PnAR2, nrr, tm, Options{})
+	if got := countKind(p, OpReset); got != 2 {
+		t.Errorf("resets = %d, want 2 (speculation kill + final cleanup)", got)
+	}
+	if got := countKind(p, OpSetFeature); got != 2 {
+		t.Errorf("SET FEATUREs = %d, want 2", got)
+	}
+	if got := countKind(p, OpSense); got != nrr+1 {
+		t.Errorf("senses = %d, want %d", got, nrr+1)
+	}
+}
+
+func TestResponseAlwaysECC(t *testing.T) {
+	tm := paperTimings()
+	for _, s := range []Scheme{Baseline, PR2, AR2, PnAR2, NoRR} {
+		for _, nrr := range []int{0, 1, 7} {
+			p := BuildPlan(s, nrr, tm, Options{})
+			if p.Ops[p.ResponseOp].Kind != OpECC {
+				t.Errorf("%v nrr=%d: response op is %v, want ECC", s, nrr, p.Ops[p.ResponseOp].Kind)
+			}
+		}
+	}
+}
+
+func TestDieOpsNeverOverlapWithinPlan(t *testing.T) {
+	// The die is a single unit: its ops (sense/set/reset) must serialize
+	// on the dependency structure alone.
+	tm := paperTimings()
+	for _, s := range []Scheme{Baseline, PR2, AR2, PnAR2} {
+		for _, nrr := range []int{0, 1, 5, 12} {
+			p := BuildPlan(s, nrr, tm, Options{})
+			finish := make([]sim.Time, len(p.Ops))
+			start := make([]sim.Time, len(p.Ops))
+			for i, op := range p.Ops {
+				var st sim.Time
+				for _, d := range op.Deps {
+					if finish[d] > st {
+						st = finish[d]
+					}
+				}
+				start[i] = st
+				finish[i] = st + op.Dur
+			}
+			for i, a := range p.Ops {
+				if a.Res != ResDie {
+					continue
+				}
+				for j, b := range p.Ops {
+					if i >= j || b.Res != ResDie {
+						continue
+					}
+					if start[i] < finish[j] && start[j] < finish[i] {
+						t.Errorf("%v nrr=%d: die ops %d and %d overlap", s, nrr, i, j)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestStepTagsMonotone(t *testing.T) {
+	tm := paperTimings()
+	for _, s := range []Scheme{Baseline, PR2, AR2, PnAR2} {
+		p := BuildPlan(s, 5, tm, Options{})
+		for i, op := range p.Ops {
+			for _, d := range op.Deps {
+				if p.Ops[d].Step > op.Step {
+					t.Errorf("%v: op %d (step %d) depends on later step %d",
+						s, i, op.Step, p.Ops[d].Step)
+				}
+			}
+		}
+	}
+}
+
+func TestDieHoldNeverBelowLatencyMinusECC(t *testing.T) {
+	// The die is released no earlier than the final transfer's completion:
+	// at most tECC of the response can run after release.
+	tm := paperTimings()
+	for _, s := range []Scheme{Baseline, PR2, AR2, PnAR2, NoRR} {
+		for _, nrr := range []int{0, 2, 9} {
+			p := BuildPlan(s, nrr, tm, Options{})
+			if p.DieHold() < p.Latency()-tm.ECC {
+				t.Errorf("%v nrr=%d: die hold %v < latency-tECC %v",
+					s, nrr, p.DieHold(), p.Latency()-tm.ECC)
+			}
+		}
+	}
+}

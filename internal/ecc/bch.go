@@ -1,0 +1,383 @@
+package ecc
+
+import (
+	"errors"
+	"fmt"
+	"math/bits"
+)
+
+// BCH is a binary, systematic, possibly shortened BCH code over GF(2^m)
+// correcting up to T bit errors per codeword. A stored codeword is the data
+// bits followed by ParityBits() parity bits.
+type BCH struct {
+	field *Field
+	t     int // designed correction capability
+	k     int // data bits per codeword (shortened)
+	gen   bitPoly
+}
+
+// ErrUncorrectable is returned by Decode when the codeword holds more errors
+// than the code can correct.
+var ErrUncorrectable = errors.New("ecc: uncorrectable codeword")
+
+// NewBCH constructs a BCH code over GF(2^m) with correction capability t,
+// shortened to dataBits of payload. The natural length 2^m − 1 must
+// accommodate dataBits plus the parity the generator requires.
+func NewBCH(m, t, dataBits int) (*BCH, error) {
+	if t < 1 {
+		return nil, fmt.Errorf("ecc: correction capability must be ≥ 1, got %d", t)
+	}
+	if dataBits < 1 {
+		return nil, fmt.Errorf("ecc: dataBits must be ≥ 1, got %d", dataBits)
+	}
+	field, err := NewField(m)
+	if err != nil {
+		return nil, err
+	}
+	gen, err := generatorPoly(field, t)
+	if err != nil {
+		return nil, err
+	}
+	parity := gen.degree()
+	if dataBits+parity > field.N() {
+		return nil, fmt.Errorf("ecc: %d data + %d parity bits exceed natural length %d of GF(2^%d)",
+			dataBits, parity, field.N(), m)
+	}
+	return &BCH{field: field, t: t, k: dataBits, gen: gen}, nil
+}
+
+// T returns the designed correction capability in bits per codeword.
+func (b *BCH) T() int { return b.t }
+
+// DataBits returns the payload size in bits.
+func (b *BCH) DataBits() int { return b.k }
+
+// ParityBits returns the number of parity bits appended to each codeword.
+func (b *BCH) ParityBits() int { return b.gen.degree() }
+
+// Length returns the stored codeword length in bits (data + parity).
+func (b *BCH) Length() int { return b.k + b.ParityBits() }
+
+// generatorPoly computes g(x) = lcm of the minimal polynomials of
+// α, α², …, α^2t.
+func generatorPoly(f *Field, t int) (bitPoly, error) {
+	g := bitPoly{1}
+	covered := make([]bool, f.Size)
+	for i := 1; i <= 2*t; i++ {
+		if covered[i] {
+			continue
+		}
+		// Cyclotomic coset of i: {i·2^j mod (2^m − 1)}.
+		coset := []int{}
+		for j := i; !covered[j]; j = (j * 2) % f.N() {
+			covered[j] = true
+			coset = append(coset, j)
+		}
+		// Minimal polynomial: Π_{j∈coset} (x + α^j), computed over GF(2^m);
+		// the result must collapse to GF(2) coefficients.
+		min := []uint16{1}
+		for _, j := range coset {
+			root := f.Alpha(j)
+			next := make([]uint16, len(min)+1)
+			for d, c := range min {
+				next[d+1] ^= c            // x · c x^d
+				next[d] ^= f.Mul(c, root) // α^j · c x^d
+			}
+			min = next
+		}
+		mp := make(bitPoly, 0, len(min)/64+1)
+		for d, c := range min {
+			switch c {
+			case 0:
+			case 1:
+				mp = mp.setBit(d)
+			default:
+				return nil, fmt.Errorf("ecc: minimal polynomial coefficient %d not in GF(2)", c)
+			}
+		}
+		g = g.mul(mp)
+	}
+	return g, nil
+}
+
+// Encode computes the parity for data (which must hold exactly DataBits()
+// bits, padded with zero bits in the final byte if not byte-aligned) and
+// returns it as a byte slice of ceil(ParityBits()/8) bytes.
+func (b *BCH) Encode(data []byte) ([]byte, error) {
+	if len(data) != (b.k+7)/8 {
+		return nil, fmt.Errorf("ecc: data length %d bytes, want %d", len(data), (b.k+7)/8)
+	}
+	// Systematic encoding: parity = (data(x) · x^deg(g)) mod g(x), computed
+	// with a bit-serial LFSR over the data, MSB-first. Each step folds one
+	// data bit into the running remainder: r ← (r·x + d·x^deg) mod g.
+	deg := b.gen.degree()
+	rem := make(bitPoly, deg/64+1)
+	for i := 0; i < b.k; i++ {
+		dataBit := (data[i/8]>>(7-uint(i%8)))&1 == 1
+		feedback := rem.bit(deg-1) != dataBit
+		rem = rem.shiftLeft1(deg)
+		if feedback {
+			rem.xorInPlace(b.gen[:])
+		}
+		rem = rem.clearBit(deg)
+	}
+	parity := make([]byte, (deg+7)/8)
+	for i := 0; i < deg; i++ {
+		// Transmit parity MSB-first: bit i of the stream is coefficient
+		// deg-1-i of the remainder.
+		if rem.bit(deg - 1 - i) {
+			parity[i/8] |= 1 << (7 - uint(i%8))
+		}
+	}
+	return parity, nil
+}
+
+// Decode corrects up to T() bit errors in place across data and parity.
+// It returns the number of bits corrected, or ErrUncorrectable if the error
+// count exceeds the code's capability.
+func (b *BCH) Decode(data, parity []byte) (int, error) {
+	if len(data) != (b.k+7)/8 {
+		return 0, fmt.Errorf("ecc: data length %d bytes, want %d", len(data), (b.k+7)/8)
+	}
+	deg := b.gen.degree()
+	if len(parity) != (deg+7)/8 {
+		return 0, fmt.Errorf("ecc: parity length %d bytes, want %d", len(parity), (deg+7)/8)
+	}
+	n := b.Length()
+	f := b.field
+
+	// Codeword coefficient index for stream bit s (s = 0 is the first data
+	// bit): c_{n-1-s}. Syndromes S_j = Σ_{set bits} α^{j·idx}.
+	synd := make([]uint16, 2*b.t+1)
+	allZero := true
+	forEachSetBit(data, b.k, func(s int) {
+		allZero = false
+		idx := n - 1 - s
+		for j := 1; j <= 2*b.t; j++ {
+			synd[j] ^= f.Alpha(j * idx)
+		}
+	})
+	forEachSetBit(parity, deg, func(s int) {
+		allZero = false
+		idx := n - 1 - (b.k + s)
+		for j := 1; j <= 2*b.t; j++ {
+			synd[j] ^= f.Alpha(j * idx)
+		}
+	})
+	if allZero {
+		return 0, nil
+	}
+	syndromesClean := true
+	for j := 1; j <= 2*b.t; j++ {
+		if synd[j] != 0 {
+			syndromesClean = false
+			break
+		}
+	}
+	if syndromesClean {
+		return 0, nil
+	}
+
+	// Berlekamp–Massey: find the error-locator polynomial Λ(x).
+	lambda := berlekampMassey(f, synd[1:], b.t)
+	errCount := polyDegree(lambda)
+	if errCount > b.t {
+		return 0, ErrUncorrectable
+	}
+
+	// Chien search over the stored positions: an error at stream bit s
+	// (codeword index idx = n-1-s) corresponds to a root Λ(α^{-idx}) = 0.
+	// Shortening restricts genuine error positions to idx < n, so any
+	// locator whose roots do not all land there marks an uncorrectable
+	// pattern.
+	flip := func(s int) {
+		if s < b.k {
+			data[s/8] ^= 1 << (7 - uint(s%8))
+		} else {
+			p := s - b.k
+			parity[p/8] ^= 1 << (7 - uint(p%8))
+		}
+	}
+	corrected := 0
+	for s := 0; s < n; s++ {
+		idx := n - 1 - s
+		xInv := f.Alpha((f.N() - idx%f.N()) % f.N())
+		if evalPoly(f, lambda, xInv) != 0 {
+			continue
+		}
+		flip(s)
+		corrected++
+	}
+	if corrected != errCount {
+		// Λ does not split over the stored positions: the pattern exceeded
+		// the capability and the flips above are bogus. Undo them so the
+		// caller's buffer is untouched on error.
+		for s := 0; s < n; s++ {
+			idx := n - 1 - s
+			xInv := f.Alpha((f.N() - idx%f.N()) % f.N())
+			if evalPoly(f, lambda, xInv) == 0 {
+				flip(s)
+			}
+		}
+		return 0, ErrUncorrectable
+	}
+	return corrected, nil
+}
+
+// berlekampMassey returns the error-locator polynomial for the syndrome
+// sequence synd[0..2t-1] (synd[i] = S_{i+1}).
+func berlekampMassey(f *Field, synd []uint16, t int) []uint16 {
+	lambda := make([]uint16, 2*t+2)
+	prev := make([]uint16, 2*t+2)
+	lambda[0], prev[0] = 1, 1
+	l := 0
+	m := 1
+	b := uint16(1)
+	for i := 0; i < 2*t; i++ {
+		// Discrepancy.
+		d := synd[i]
+		for j := 1; j <= l; j++ {
+			d ^= f.Mul(lambda[j], synd[i-j])
+		}
+		if d == 0 {
+			m++
+			continue
+		}
+		if 2*l <= i {
+			tmp := make([]uint16, len(lambda))
+			copy(tmp, lambda)
+			coef := f.Div(d, b)
+			for j := 0; j+m < len(lambda); j++ {
+				lambda[j+m] ^= f.Mul(coef, prev[j])
+			}
+			l = i + 1 - l
+			copy(prev, tmp)
+			b = d
+			m = 1
+		} else {
+			coef := f.Div(d, b)
+			for j := 0; j+m < len(lambda); j++ {
+				lambda[j+m] ^= f.Mul(coef, prev[j])
+			}
+			m++
+		}
+	}
+	return lambda[:l+1]
+}
+
+func polyDegree(p []uint16) int {
+	for i := len(p) - 1; i >= 0; i-- {
+		if p[i] != 0 {
+			return i
+		}
+	}
+	return 0
+}
+
+func evalPoly(f *Field, p []uint16, x uint16) uint16 {
+	// Horner's rule.
+	v := uint16(0)
+	for i := len(p) - 1; i >= 0; i-- {
+		v = f.Mul(v, x) ^ p[i]
+	}
+	return v
+}
+
+// forEachSetBit calls fn with the stream index of every set bit among the
+// first nbits of buf (MSB-first within each byte).
+func forEachSetBit(buf []byte, nbits int, fn func(int)) {
+	for i, by := range buf {
+		if by == 0 {
+			continue
+		}
+		for b := by; b != 0; {
+			lead := bits.LeadingZeros8(b)
+			s := i*8 + lead
+			if s >= nbits {
+				return
+			}
+			fn(s)
+			b &^= 1 << (7 - uint(lead))
+		}
+	}
+}
+
+// bitPoly is a polynomial over GF(2), bit i of word i/64 holding the
+// coefficient of x^i.
+type bitPoly []uint64
+
+func (p bitPoly) bit(i int) bool {
+	w := i / 64
+	if w >= len(p) {
+		return false
+	}
+	return p[w]>>(uint(i)%64)&1 == 1
+}
+
+func (p bitPoly) setBit(i int) bitPoly {
+	w := i / 64
+	for len(p) <= w {
+		p = append(p, 0)
+	}
+	p[w] |= 1 << (uint(i) % 64)
+	return p
+}
+
+func (p bitPoly) clearBit(i int) bitPoly {
+	w := i / 64
+	if w < len(p) {
+		p[w] &^= 1 << (uint(i) % 64)
+	}
+	return p
+}
+
+func (p bitPoly) degree() int {
+	for w := len(p) - 1; w >= 0; w-- {
+		if p[w] != 0 {
+			return w*64 + 63 - bits.LeadingZeros64(p[w])
+		}
+	}
+	return 0
+}
+
+// shiftLeft1 multiplies by x, keeping capacity for a degree-limit bits.
+func (p bitPoly) shiftLeft1(limit int) bitPoly {
+	words := limit/64 + 1
+	for len(p) < words {
+		p = append(p, 0)
+	}
+	carry := uint64(0)
+	for i := 0; i < len(p); i++ {
+		next := p[i] >> 63
+		p[i] = p[i]<<1 | carry
+		carry = next
+	}
+	return p
+}
+
+func (p bitPoly) xorInPlace(q []uint64) {
+	for i := 0; i < len(p) && i < len(q); i++ {
+		p[i] ^= q[i]
+	}
+}
+
+// mul returns the carry-less product of two polynomials.
+func (p bitPoly) mul(q bitPoly) bitPoly {
+	out := make(bitPoly, len(p)+len(q)+1)
+	for i := 0; i <= p.degree(); i++ {
+		if !p.bit(i) {
+			continue
+		}
+		for w := 0; w < len(q); w++ {
+			if q[w] == 0 {
+				continue
+			}
+			lo := q[w] << (uint(i) % 64)
+			out[w+i/64] ^= lo
+			if i%64 != 0 {
+				out[w+i/64+1] ^= q[w] >> (64 - uint(i)%64)
+			}
+		}
+	}
+	return out
+}

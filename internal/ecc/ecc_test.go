@@ -1,0 +1,440 @@
+package ecc
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+
+	"readretry/internal/rng"
+	"readretry/internal/sim"
+)
+
+// --- Field ---------------------------------------------------------------
+
+func TestFieldConstruction(t *testing.T) {
+	for m := 4; m <= 14; m++ {
+		f, err := NewField(m)
+		if err != nil {
+			t.Fatalf("GF(2^%d): %v", m, err)
+		}
+		if f.N() != (1<<m)-1 {
+			t.Errorf("GF(2^%d).N() = %d", m, f.N())
+		}
+	}
+	if _, err := NewField(3); err == nil {
+		t.Error("expected error for unsupported m")
+	}
+}
+
+func TestFieldAlphaCycle(t *testing.T) {
+	f, _ := NewField(8)
+	// α has multiplicative order 2^m − 1.
+	seen := map[uint16]bool{}
+	for i := 0; i < f.N(); i++ {
+		a := f.Alpha(i)
+		if a == 0 {
+			t.Fatalf("α^%d = 0", i)
+		}
+		if seen[a] {
+			t.Fatalf("α^%d repeats before the full cycle", i)
+		}
+		seen[a] = true
+	}
+	if f.Alpha(f.N()) != 1 {
+		t.Error("α^(2^m-1) should be 1")
+	}
+}
+
+func TestFieldAxioms(t *testing.T) {
+	f, _ := NewField(10)
+	r := rng.New(5)
+	for i := 0; i < 2000; i++ {
+		a := uint16(r.Intn(f.Size))
+		b := uint16(r.Intn(f.Size))
+		c := uint16(r.Intn(f.Size))
+		if f.Mul(a, b) != f.Mul(b, a) {
+			t.Fatal("multiplication not commutative")
+		}
+		if f.Mul(a, f.Mul(b, c)) != f.Mul(f.Mul(a, b), c) {
+			t.Fatal("multiplication not associative")
+		}
+		// Distributivity over GF(2) addition (XOR).
+		if f.Mul(a, b^c) != f.Mul(a, b)^f.Mul(a, c) {
+			t.Fatal("multiplication not distributive over XOR")
+		}
+		if a != 0 {
+			if f.Mul(a, f.Inv(a)) != 1 {
+				t.Fatalf("a · a⁻¹ ≠ 1 for a=%d", a)
+			}
+			if f.Div(f.Mul(a, b), a) != b {
+				t.Fatal("division does not invert multiplication")
+			}
+		}
+		if f.Mul(a, 1) != a || f.Mul(a, 0) != 0 {
+			t.Fatal("identity/zero multiplication wrong")
+		}
+	}
+}
+
+func TestFieldPow(t *testing.T) {
+	f, _ := NewField(8)
+	a := f.Alpha(37)
+	want := uint16(1)
+	for e := 0; e < 20; e++ {
+		if got := f.Pow(a, e); got != want {
+			t.Fatalf("Pow(a, %d) = %d, want %d", e, got, want)
+		}
+		want = f.Mul(want, a)
+	}
+	if f.Pow(0, 0) != 1 || f.Pow(0, 5) != 0 {
+		t.Error("Pow with zero base wrong")
+	}
+}
+
+func TestFieldPanics(t *testing.T) {
+	f, _ := NewField(6)
+	for name, fn := range map[string]func(){
+		"Div by zero": func() { f.Div(3, 0) },
+		"Inv of zero": func() { f.Inv(0) },
+		"Log of zero": func() { f.Log(0) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: expected panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+// --- BCH -----------------------------------------------------------------
+
+func TestBCHConstructionErrors(t *testing.T) {
+	if _, err := NewBCH(8, 0, 64); err == nil {
+		t.Error("t=0 should fail")
+	}
+	if _, err := NewBCH(8, 2, 0); err == nil {
+		t.Error("dataBits=0 should fail")
+	}
+	if _, err := NewBCH(8, 30, 250); err == nil {
+		t.Error("data+parity beyond natural length should fail")
+	}
+	if _, err := NewBCH(2, 3, 10); err == nil {
+		t.Error("unsupported field should fail")
+	}
+}
+
+func TestBCHRoundTripNoErrors(t *testing.T) {
+	code, err := NewBCH(10, 5, 400)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rng.New(7)
+	data := make([]byte, 50)
+	for i := range data {
+		data[i] = byte(r.Uint64())
+	}
+	parity, err := code.Encode(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	orig := append([]byte(nil), data...)
+	n, err := code.Decode(data, parity)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 0 {
+		t.Errorf("clean codeword corrected %d bits", n)
+	}
+	if !bytes.Equal(data, orig) {
+		t.Error("clean decode modified the data")
+	}
+}
+
+func flipBit(buf []byte, i int) { buf[i/8] ^= 1 << (7 - uint(i%8)) }
+
+func TestBCHCorrectsUpToT(t *testing.T) {
+	code, err := NewBCH(10, 8, 512)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rng.New(11)
+	for trial := 0; trial < 25; trial++ {
+		data := make([]byte, 64)
+		for i := range data {
+			data[i] = byte(r.Uint64())
+		}
+		parity, err := code.Encode(data)
+		if err != nil {
+			t.Fatal(err)
+		}
+		orig := append([]byte(nil), data...)
+
+		nErr := 1 + trial%code.T()
+		positions := map[int]bool{}
+		for len(positions) < nErr {
+			positions[r.Intn(code.Length())] = true
+		}
+		for pos := range positions {
+			if pos < code.DataBits() {
+				flipBit(data, pos)
+			} else {
+				flipBit(parity, pos-code.DataBits())
+			}
+		}
+		n, err := code.Decode(data, parity)
+		if err != nil {
+			t.Fatalf("trial %d: decode failed with %d ≤ t errors: %v", trial, nErr, err)
+		}
+		if n != nErr {
+			t.Errorf("trial %d: corrected %d bits, want %d", trial, n, nErr)
+		}
+		if !bytes.Equal(data, orig) {
+			t.Fatalf("trial %d: data not restored", trial)
+		}
+	}
+}
+
+func TestBCHDetectsBeyondT(t *testing.T) {
+	code, err := NewBCH(10, 4, 400)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rng.New(13)
+	detected := 0
+	const trials = 30
+	for trial := 0; trial < trials; trial++ {
+		data := make([]byte, 50)
+		for i := range data {
+			data[i] = byte(r.Uint64())
+		}
+		parity, _ := code.Encode(data)
+		corrupted := append([]byte(nil), data...)
+		nErr := code.T() + 3 + trial%5
+		positions := map[int]bool{}
+		for len(positions) < nErr {
+			positions[r.Intn(code.DataBits())] = true
+		}
+		for pos := range positions {
+			flipBit(corrupted, pos)
+		}
+		before := append([]byte(nil), corrupted...)
+		if _, err := code.Decode(corrupted, parity); err != nil {
+			detected++
+			if !bytes.Equal(corrupted, before) {
+				t.Fatal("failed decode must leave the buffer untouched")
+			}
+		}
+	}
+	// Patterns slightly beyond t occasionally alias into a decodable word
+	// (that is inherent to bounded-distance decoding), but the vast
+	// majority must be flagged.
+	if detected < trials*8/10 {
+		t.Errorf("only %d/%d over-capacity patterns detected", detected, trials)
+	}
+}
+
+func TestBCHThresholdMatchesEngineModel(t *testing.T) {
+	// The behavioral Engine assumes: ≤ t errors always correct; this is
+	// exactly the bounded-distance guarantee of the real code. Exercise the
+	// boundary itself.
+	code, err := NewBCH(9, 6, 300)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rng.New(17)
+	data := make([]byte, 38)
+	for i := range data {
+		data[i] = byte(r.Uint64())
+	}
+	parity, _ := code.Encode(data)
+	orig := append([]byte(nil), data...)
+
+	// Exactly t errors: must correct.
+	positions := map[int]bool{}
+	for len(positions) < code.T() {
+		positions[r.Intn(code.DataBits())] = true
+	}
+	for pos := range positions {
+		flipBit(data, pos)
+	}
+	n, err := code.Decode(data, parity)
+	if err != nil || n != code.T() || !bytes.Equal(data, orig) {
+		t.Fatalf("exactly-t decode: n=%d err=%v", n, err)
+	}
+}
+
+func TestBCHParityBitsWithinBound(t *testing.T) {
+	// Parity of a t-error BCH code over GF(2^m) is at most m·t bits.
+	code, err := NewBCH(10, 8, 512)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if code.ParityBits() > 10*8 {
+		t.Errorf("parity %d bits exceeds m·t = 80", code.ParityBits())
+	}
+	if code.Length() != code.DataBits()+code.ParityBits() {
+		t.Error("Length ≠ DataBits + ParityBits")
+	}
+}
+
+func TestBCHEncodeLengthValidation(t *testing.T) {
+	code, _ := NewBCH(8, 2, 64)
+	if _, err := code.Encode(make([]byte, 7)); err == nil {
+		t.Error("wrong data length should fail")
+	}
+	parity, _ := code.Encode(make([]byte, 8))
+	if _, err := code.Decode(make([]byte, 7), parity); err == nil {
+		t.Error("wrong data length should fail in Decode")
+	}
+	if _, err := code.Decode(make([]byte, 8), make([]byte, 1)); err == nil {
+		t.Error("wrong parity length should fail in Decode")
+	}
+}
+
+func TestBCHQuickProperty(t *testing.T) {
+	// Property: for random data and random error patterns of weight ≤ t,
+	// decode restores the original exactly.
+	code, err := NewBCH(8, 3, 128)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := func(seed uint64, weightRaw uint8) bool {
+		r := rng.New(seed)
+		weight := int(weightRaw) % (code.T() + 1)
+		data := make([]byte, 16)
+		for i := range data {
+			data[i] = byte(r.Uint64())
+		}
+		parity, err := code.Encode(data)
+		if err != nil {
+			return false
+		}
+		orig := append([]byte(nil), data...)
+		origParity := append([]byte(nil), parity...)
+		positions := map[int]bool{}
+		for len(positions) < weight {
+			positions[r.Intn(code.Length())] = true
+		}
+		for pos := range positions {
+			if pos < code.DataBits() {
+				flipBit(data, pos)
+			} else {
+				flipBit(parity, pos-code.DataBits())
+			}
+		}
+		n, err := code.Decode(data, parity)
+		return err == nil && n == weight &&
+			bytes.Equal(data, orig) && bytes.Equal(parity, origParity)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPaperScaleBCH(t *testing.T) {
+	// The paper's engine: 72 bits per 1-KiB codeword. Build the real code
+	// once and push a worst-case (exactly 72 errors) pattern through it.
+	if testing.Short() {
+		t.Skip("paper-scale BCH construction is slow")
+	}
+	eng := DefaultEngine()
+	code, err := eng.ReferenceBCH()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if code.T() != 72 || code.DataBits() != 8192 {
+		t.Fatalf("reference code t=%d k=%d", code.T(), code.DataBits())
+	}
+	r := rng.New(23)
+	data := make([]byte, 1024)
+	for i := range data {
+		data[i] = byte(r.Uint64())
+	}
+	parity, err := code.Encode(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	orig := append([]byte(nil), data...)
+	positions := map[int]bool{}
+	for len(positions) < 72 {
+		positions[r.Intn(code.DataBits())] = true
+	}
+	for pos := range positions {
+		flipBit(data, pos)
+	}
+	n, err := code.Decode(data, parity)
+	if err != nil {
+		t.Fatalf("72-error decode failed: %v", err)
+	}
+	if n != 72 || !bytes.Equal(data, orig) {
+		t.Fatalf("corrected %d bits; restored=%v", n, bytes.Equal(data, orig))
+	}
+	// And 73 errors must not silently "succeed" with wrong data.
+	flipBit(data, 8000)
+	for pos := range positions {
+		flipBit(data, pos)
+	}
+	if _, err := code.Decode(data, parity); err == nil {
+		t.Log("73-error pattern aliased to a decodable word (allowed but rare)")
+	}
+}
+
+// --- Engine --------------------------------------------------------------
+
+func TestDefaultEngineMatchesPaper(t *testing.T) {
+	e := DefaultEngine()
+	if err := e.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if e.Capability != 72 || e.CodewordBytes != 1024 {
+		t.Errorf("engine %+v does not match §7.1", e)
+	}
+	if e.DecodeLatency != 20*sim.Microsecond {
+		t.Errorf("tECC = %v, want 20us", e.DecodeLatency)
+	}
+	if e.CodewordsPerPage(16*1024) != 16 {
+		t.Errorf("codewords per 16-KiB page = %d, want 16", e.CodewordsPerPage(16*1024))
+	}
+}
+
+func TestEngineCorrectable(t *testing.T) {
+	e := DefaultEngine()
+	if !e.Correctable(0) || !e.Correctable(72) {
+		t.Error("0 and 72 errors must be correctable")
+	}
+	if e.Correctable(73) {
+		t.Error("73 errors must not be correctable")
+	}
+	if e.Correctable(-1) {
+		t.Error("negative error count is invalid")
+	}
+	if e.Margin(28) != 44 {
+		t.Errorf("Margin(28) = %d, want 44", e.Margin(28))
+	}
+	if e.Margin(80) >= 0 {
+		t.Error("beyond-capability margin should be negative")
+	}
+}
+
+func TestEngineValidate(t *testing.T) {
+	bad := DefaultEngine()
+	bad.Capability = 0
+	if bad.Validate() == nil {
+		t.Error("zero capability should be invalid")
+	}
+	bad = DefaultEngine()
+	bad.CodewordBytes = 0
+	if bad.Validate() == nil {
+		t.Error("zero codeword size should be invalid")
+	}
+}
+
+func TestCodewordsPerPageFloor(t *testing.T) {
+	e := DefaultEngine()
+	if e.CodewordsPerPage(100) != 1 {
+		t.Error("tiny pages still hold one codeword")
+	}
+}

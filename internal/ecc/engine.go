@@ -1,0 +1,70 @@
+package ecc
+
+import (
+	"fmt"
+
+	"readretry/internal/sim"
+)
+
+// Engine is the behavioral model of the SSD's per-channel hardware ECC
+// engine (§7.1): it corrects up to Capability raw bit errors per
+// CodewordBytes of payload within DecodeLatency. The simulator consults
+// Correctable; the retry loop in internal/core drives decode timing with
+// DecodeLatency.
+type Engine struct {
+	// CodewordBytes is the payload per codeword (1 KiB in the paper).
+	CodewordBytes int
+	// Capability is the maximum number of correctable raw bit errors per
+	// codeword (72 in the paper, from Micron's 3D NAND product flyer).
+	Capability int
+	// DecodeLatency is tECC, the fixed decode latency per page (20 µs).
+	DecodeLatency sim.Time
+}
+
+// DefaultEngine returns the paper's ECC configuration: 72 bits per 1-KiB
+// codeword in 20 µs.
+func DefaultEngine() Engine {
+	return Engine{
+		CodewordBytes: 1024,
+		Capability:    72,
+		DecodeLatency: 20 * sim.Microsecond,
+	}
+}
+
+// Validate reports whether the engine configuration is usable.
+func (e Engine) Validate() error {
+	if e.CodewordBytes < 1 || e.Capability < 1 || e.DecodeLatency < 0 {
+		return fmt.Errorf("ecc: invalid engine configuration %+v", e)
+	}
+	return nil
+}
+
+// CodewordsPerPage returns how many codewords a page of the given size
+// holds (16 for the paper's 16-KiB pages).
+func (e Engine) CodewordsPerPage(pageSize int) int {
+	n := pageSize / e.CodewordBytes
+	if n < 1 {
+		n = 1
+	}
+	return n
+}
+
+// Correctable reports whether a codeword with the given raw bit error count
+// decodes successfully.
+func (e Engine) Correctable(rawErrors int) bool {
+	return rawErrors >= 0 && rawErrors <= e.Capability
+}
+
+// Margin returns the ECC-capability margin (footnote 5): capability minus
+// present raw bit errors. Negative values mean the codeword is
+// uncorrectable.
+func (e Engine) Margin(rawErrors int) int {
+	return e.Capability - rawErrors
+}
+
+// ReferenceBCH constructs the real BCH code realizing this engine's
+// capability over GF(2^14): t = Capability, payload = CodewordBytes. It
+// demonstrates the threshold behaviour the behavioral model assumes.
+func (e Engine) ReferenceBCH() (*BCH, error) {
+	return NewBCH(14, e.Capability, e.CodewordBytes*8)
+}

@@ -1,0 +1,125 @@
+// Package ecc implements the SSD's error-correction substrate in two layers:
+//
+//   - Engine: the behavioral model the simulator uses — a codeword is
+//     correctable iff its raw bit errors do not exceed the configured
+//     capability (72 bits per 1-KiB codeword in the paper), and decoding
+//     takes tECC (20 µs).
+//
+//   - BCH: a complete software implementation of the binary BCH codes modern
+//     SSD controllers build such engines from — GF(2^m) arithmetic,
+//     generator-polynomial construction from cyclotomic cosets, systematic
+//     encoding, and syndrome decoding with Berlekamp–Massey and Chien
+//     search. It demonstrates that the threshold behaviour the Engine
+//     assumes (corrects ≤ t errors, fails beyond) is exactly what the real
+//     code delivers.
+package ecc
+
+import "fmt"
+
+// primitivePolys[m] is a primitive polynomial of degree m over GF(2),
+// encoded with bit i representing x^i.
+var primitivePolys = map[int]uint32{
+	4:  0x13,   // x^4 + x + 1
+	5:  0x25,   // x^5 + x^2 + 1
+	6:  0x43,   // x^6 + x + 1
+	7:  0x89,   // x^7 + x^3 + 1
+	8:  0x11d,  // x^8 + x^4 + x^3 + x^2 + 1
+	9:  0x211,  // x^9 + x^4 + 1
+	10: 0x409,  // x^10 + x^3 + 1
+	11: 0x805,  // x^11 + x^2 + 1
+	12: 0x1053, // x^12 + x^6 + x^4 + x + 1
+	13: 0x201b, // x^13 + x^4 + x^3 + x + 1
+	14: 0x4443, // x^14 + x^10 + x^6 + x + 1
+}
+
+// Field is the finite field GF(2^m), 4 ≤ m ≤ 14, with exp/log tables for
+// constant-time multiplication.
+type Field struct {
+	M    int // extension degree
+	Size int // 2^m
+	exp  []uint16
+	log  []uint16
+}
+
+// NewField constructs GF(2^m). It returns an error for unsupported m.
+func NewField(m int) (*Field, error) {
+	poly, ok := primitivePolys[m]
+	if !ok {
+		return nil, fmt.Errorf("ecc: no primitive polynomial for GF(2^%d)", m)
+	}
+	size := 1 << m
+	f := &Field{M: m, Size: size, exp: make([]uint16, 2*size), log: make([]uint16, size)}
+	x := uint32(1)
+	for i := 0; i < size-1; i++ {
+		f.exp[i] = uint16(x)
+		f.log[x] = uint16(i)
+		x <<= 1
+		if x&uint32(size) != 0 {
+			x ^= poly
+		}
+	}
+	// Duplicate the exp table so Mul can skip the mod (2^m - 1).
+	for i := size - 1; i < 2*size; i++ {
+		f.exp[i] = f.exp[i-(size-1)]
+	}
+	return f, nil
+}
+
+// N returns the natural code length of the field, 2^m − 1.
+func (f *Field) N() int { return f.Size - 1 }
+
+// Alpha returns α^i (i may be any non-negative exponent).
+func (f *Field) Alpha(i int) uint16 {
+	return f.exp[i%(f.Size-1)]
+}
+
+// Mul multiplies two field elements.
+func (f *Field) Mul(a, b uint16) uint16 {
+	if a == 0 || b == 0 {
+		return 0
+	}
+	return f.exp[int(f.log[a])+int(f.log[b])]
+}
+
+// Div divides a by b. It panics on division by zero, which indicates a
+// decoder bug rather than a data-dependent condition.
+func (f *Field) Div(a, b uint16) uint16 {
+	if b == 0 {
+		panic("ecc: division by zero in GF(2^m)")
+	}
+	if a == 0 {
+		return 0
+	}
+	d := int(f.log[a]) - int(f.log[b])
+	if d < 0 {
+		d += f.Size - 1
+	}
+	return f.exp[d]
+}
+
+// Inv returns the multiplicative inverse of a. It panics for a == 0.
+func (f *Field) Inv(a uint16) uint16 {
+	if a == 0 {
+		panic("ecc: inverse of zero in GF(2^m)")
+	}
+	return f.exp[f.Size-1-int(f.log[a])]
+}
+
+// Pow returns a^e for e ≥ 0.
+func (f *Field) Pow(a uint16, e int) uint16 {
+	if a == 0 {
+		if e == 0 {
+			return 1
+		}
+		return 0
+	}
+	return f.exp[(int(f.log[a])*e)%(f.Size-1)]
+}
+
+// Log returns the discrete log of a (the i with α^i = a). It panics for 0.
+func (f *Field) Log(a uint16) int {
+	if a == 0 {
+		panic("ecc: log of zero in GF(2^m)")
+	}
+	return int(f.log[a])
+}

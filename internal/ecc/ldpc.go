@@ -1,0 +1,373 @@
+package ecc
+
+import (
+	"fmt"
+	"math"
+	"math/bits"
+)
+
+// LDPC is a binary quasi-cyclic low-density parity-check code — the other
+// ECC family modern SSD controllers deploy (§2.4 cites both BCH and LDPC).
+// The construction is the classic array code: the parity-check matrix is a
+// J×L grid of Z×Z circulant permutation blocks with shift (j·l) mod Z.
+// For prime Z this matrix has girth ≥ 6 (no 4-cycles), which is what the
+// iterative decoders need.
+//
+// Two decoders are provided:
+//
+//   - DecodeHard: Gallager-B bit flipping over hard channel outputs, the
+//     cheap first-pass decoder.
+//   - DecodeSoft: normalized min-sum belief propagation over per-bit LLRs,
+//     the decoder an SSD falls back to with soft-read data when hard
+//     decoding fails.
+type LDPC struct {
+	n, m, k int
+	// checkNeighbors[c] lists variable indices participating in check c.
+	checkNeighbors [][]int32
+	// varNeighbors[v] lists check indices variable v participates in.
+	varNeighbors [][]int32
+	// parityPos[i] is the codeword position of the i-th parity bit
+	// (pivot columns of the reduced matrix); dataPos the rest.
+	parityPos []int
+	dataPos   []int
+	// encodeRows[i] is the reduced parity-check row for parity bit i,
+	// restricted to data positions (bitset over k bits): parity_i =
+	// ⊕_{j set} data_j.
+	encodeRows [][]uint64
+}
+
+// NewArrayLDPC constructs the array LDPC code with circulant size z (must
+// be an odd prime), j block-rows and l block-columns (j < l ≤ z). The code
+// length is l·z bits; the dimension k is determined by the matrix rank
+// (usually l·z − j·z + j − 1 for array codes).
+func NewArrayLDPC(z, j, l int) (*LDPC, error) {
+	switch {
+	case z < 3 || !isPrime(z):
+		return nil, fmt.Errorf("ecc: circulant size %d must be an odd prime", z)
+	case j < 2:
+		return nil, fmt.Errorf("ecc: need at least 2 block rows, got %d", j)
+	case l <= j:
+		return nil, fmt.Errorf("ecc: block columns (%d) must exceed block rows (%d)", l, j)
+	case l > z:
+		return nil, fmt.Errorf("ecc: block columns (%d) cannot exceed circulant size (%d)", l, z)
+	}
+	n := l * z
+	m := j * z
+	c := &LDPC{n: n, m: m}
+
+	// Build the sparse parity-check structure: block (bj, bl) is the
+	// identity cyclically shifted by (bj·bl) mod z: H[bj·z + r][bl·z +
+	// (r + bj·bl) mod z] = 1.
+	c.checkNeighbors = make([][]int32, m)
+	c.varNeighbors = make([][]int32, n)
+	for bj := 0; bj < j; bj++ {
+		for bl := 0; bl < l; bl++ {
+			shift := bj * bl % z
+			for r := 0; r < z; r++ {
+				check := bj*z + r
+				v := bl*z + (r+shift)%z
+				c.checkNeighbors[check] = append(c.checkNeighbors[check], int32(v))
+				c.varNeighbors[v] = append(c.varNeighbors[v], int32(check))
+			}
+		}
+	}
+	if err := c.buildEncoder(); err != nil {
+		return nil, err
+	}
+	return c, nil
+}
+
+func isPrime(x int) bool {
+	if x < 2 {
+		return false
+	}
+	for d := 2; d*d <= x; d++ {
+		if x%d == 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// buildEncoder row-reduces H over GF(2) to find pivot (parity) columns and
+// the data→parity relations.
+func (c *LDPC) buildEncoder() error {
+	words := (c.n + 63) / 64
+	rows := make([][]uint64, c.m)
+	for check := 0; check < c.m; check++ {
+		row := make([]uint64, words)
+		for _, v := range c.checkNeighbors[check] {
+			row[v/64] ^= 1 << (uint(v) % 64)
+		}
+		rows[check] = row
+	}
+	getBit := func(row []uint64, col int) bool { return row[col/64]>>(uint(col)%64)&1 == 1 }
+
+	// Gaussian elimination with column pivoting from the right (so data
+	// bits concentrate in the leading positions).
+	pivotOfRow := make([]int, 0, c.m)
+	isPivot := make([]bool, c.n)
+	rank := 0
+	for col := c.n - 1; col >= 0 && rank < c.m; col-- {
+		// Find a row at or below rank with a 1 in col.
+		sel := -1
+		for r := rank; r < c.m; r++ {
+			if getBit(rows[r], col) {
+				sel = r
+				break
+			}
+		}
+		if sel < 0 {
+			continue
+		}
+		rows[rank], rows[sel] = rows[sel], rows[rank]
+		for r := 0; r < c.m; r++ {
+			if r != rank && getBit(rows[r], col) {
+				for w := range rows[r] {
+					rows[r][w] ^= rows[rank][w]
+				}
+			}
+		}
+		pivotOfRow = append(pivotOfRow, col)
+		isPivot[col] = true
+		rank++
+	}
+	c.k = c.n - rank
+	if c.k < 1 {
+		return fmt.Errorf("ecc: degenerate LDPC code (rank %d of %d)", rank, c.n)
+	}
+	for v := 0; v < c.n; v++ {
+		if !isPivot[v] {
+			c.dataPos = append(c.dataPos, v)
+		}
+	}
+	c.parityPos = pivotOfRow
+
+	// Each reduced row r reads: codeword[pivot_r] = ⊕ data bits present in
+	// the row; restrict the row to data positions.
+	dataIndex := make(map[int]int, c.k)
+	for i, v := range c.dataPos {
+		dataIndex[v] = i
+	}
+	kWords := (c.k + 63) / 64
+	c.encodeRows = make([][]uint64, rank)
+	for r := 0; r < rank; r++ {
+		enc := make([]uint64, kWords)
+		for _, v := range c.dataPos {
+			if getBit(rows[r], v) {
+				i := dataIndex[v]
+				enc[i/64] ^= 1 << (uint(i) % 64)
+			}
+		}
+		c.encodeRows[r] = enc
+	}
+	return nil
+}
+
+// N returns the codeword length in bits.
+func (c *LDPC) N() int { return c.n }
+
+// K returns the payload size in bits.
+func (c *LDPC) K() int { return c.k }
+
+// Rate returns the code rate k/n.
+func (c *LDPC) Rate() float64 { return float64(c.k) / float64(c.n) }
+
+// Encode maps data (ceil(K/8) bytes, MSB-first) to a codeword bit vector of
+// ceil(N/8) bytes.
+func (c *LDPC) Encode(data []byte) ([]byte, error) {
+	if len(data) != (c.k+7)/8 {
+		return nil, fmt.Errorf("ecc: data length %d bytes, want %d", len(data), (c.k+7)/8)
+	}
+	// Load data bits into word form for the parity dot products.
+	kWords := (c.k + 63) / 64
+	d := make([]uint64, kWords)
+	for i := 0; i < c.k; i++ {
+		if data[i/8]>>(7-uint(i%8))&1 == 1 {
+			d[i/64] ^= 1 << (uint(i) % 64)
+		}
+	}
+	cw := make([]byte, (c.n+7)/8)
+	setBit := func(pos int) { cw[pos/8] |= 1 << (7 - uint(pos%8)) }
+	for i := 0; i < c.k; i++ {
+		if d[i/64]>>(uint(i)%64)&1 == 1 {
+			setBit(c.dataPos[i])
+		}
+	}
+	for r, enc := range c.encodeRows {
+		parity := 0
+		for w := range enc {
+			parity ^= bits.OnesCount64(enc[w] & d[w])
+		}
+		if parity&1 == 1 {
+			setBit(c.parityPos[r])
+		}
+	}
+	return cw, nil
+}
+
+// ExtractData recovers the payload bytes from a codeword bit vector.
+func (c *LDPC) ExtractData(codeword []byte) []byte {
+	out := make([]byte, (c.k+7)/8)
+	for i, pos := range c.dataPos {
+		if codeword[pos/8]>>(7-uint(pos%8))&1 == 1 {
+			out[i/8] |= 1 << (7 - uint(i%8))
+		}
+	}
+	return out
+}
+
+// Syndrome reports whether the codeword satisfies all parity checks.
+func (c *LDPC) Syndrome(codeword []byte) bool {
+	for check := range c.checkNeighbors {
+		parity := 0
+		for _, v := range c.checkNeighbors[check] {
+			parity ^= int(codeword[v/8] >> (7 - uint(v)%8) & 1)
+		}
+		if parity == 1 {
+			return false
+		}
+	}
+	return true
+}
+
+// DecodeHard runs Gallager-B bit flipping in place for up to maxIter
+// iterations. It returns the number of bits flipped, or ErrUncorrectable if
+// the checks do not converge.
+func (c *LDPC) DecodeHard(codeword []byte, maxIter int) (int, error) {
+	if len(codeword) != (c.n+7)/8 {
+		return 0, fmt.Errorf("ecc: codeword length %d bytes, want %d", len(codeword), (c.n+7)/8)
+	}
+	flipped := 0
+	checkState := make([]uint8, c.m)
+	for iter := 0; iter < maxIter; iter++ {
+		unsat := 0
+		for check := range c.checkNeighbors {
+			parity := uint8(0)
+			for _, v := range c.checkNeighbors[check] {
+				parity ^= codeword[v/8] >> (7 - uint(v)%8) & 1
+			}
+			checkState[check] = parity
+			if parity == 1 {
+				unsat++
+			}
+		}
+		if unsat == 0 {
+			return flipped, nil
+		}
+		// Flip every variable where a majority of its checks fail.
+		progress := false
+		for v := 0; v < c.n; v++ {
+			bad := 0
+			for _, ch := range c.varNeighbors[v] {
+				if checkState[ch] == 1 {
+					bad++
+				}
+			}
+			if 2*bad > len(c.varNeighbors[v]) {
+				codeword[v/8] ^= 1 << (7 - uint(v)%8)
+				flipped++
+				progress = true
+			}
+		}
+		if !progress {
+			break
+		}
+	}
+	if c.Syndrome(codeword) {
+		return flipped, nil
+	}
+	return flipped, ErrUncorrectable
+}
+
+// DecodeSoft runs normalized min-sum belief propagation over per-bit LLRs
+// (positive = bit 0 more likely) and returns the decoded codeword bits. It
+// returns ErrUncorrectable if the checks do not converge within maxIter.
+func (c *LDPC) DecodeSoft(llr []float64, maxIter int) ([]byte, error) {
+	if len(llr) != c.n {
+		return nil, fmt.Errorf("ecc: llr length %d, want %d", len(llr), c.n)
+	}
+	const norm = 0.75 // standard min-sum normalization factor
+
+	// Messages are indexed by (check, position-in-check).
+	msg := make([][]float64, c.m)
+	for ch := range msg {
+		msg[ch] = make([]float64, len(c.checkNeighbors[ch]))
+	}
+	post := make([]float64, c.n)
+	hard := make([]byte, (c.n+7)/8)
+
+	for iter := 0; iter < maxIter; iter++ {
+		// Variable-to-check totals.
+		copy(post, llr)
+		for ch := range msg {
+			for i, v := range c.checkNeighbors[ch] {
+				post[v] += msg[ch][i]
+			}
+		}
+		// Check-node update (min-sum with normalization).
+		for ch := range msg {
+			neigh := c.checkNeighbors[ch]
+			sign := 1.0
+			min1, min2 := math.Inf(1), math.Inf(1)
+			minIdx := -1
+			for i, v := range neigh {
+				ext := post[v] - msg[ch][i]
+				if ext < 0 {
+					sign = -sign
+				}
+				a := math.Abs(ext)
+				if a < min1 {
+					min2, min1, minIdx = min1, a, i
+				} else if a < min2 {
+					min2 = a
+				}
+			}
+			for i, v := range neigh {
+				ext := post[v] - msg[ch][i]
+				mag := min1
+				if i == minIdx {
+					mag = min2
+				}
+				s := sign
+				if ext < 0 {
+					s = -s
+				}
+				msg[ch][i] = s * norm * mag
+			}
+		}
+		// Posterior and hard decision.
+		copy(post, llr)
+		for ch := range msg {
+			for i, v := range c.checkNeighbors[ch] {
+				post[v] += msg[ch][i]
+			}
+		}
+		for i := range hard {
+			hard[i] = 0
+		}
+		for v := 0; v < c.n; v++ {
+			if post[v] < 0 {
+				hard[v/8] |= 1 << (7 - uint(v)%8)
+			}
+		}
+		if c.Syndrome(hard) {
+			return hard, nil
+		}
+	}
+	return nil, ErrUncorrectable
+}
+
+// HardLLR converts a hard-read codeword into the ±magnitude LLR vector a
+// controller uses when no soft information is available.
+func (c *LDPC) HardLLR(codeword []byte, magnitude float64) []float64 {
+	llr := make([]float64, c.n)
+	for v := 0; v < c.n; v++ {
+		if codeword[v/8]>>(7-uint(v)%8)&1 == 1 {
+			llr[v] = -magnitude
+		} else {
+			llr[v] = magnitude
+		}
+	}
+	return llr
+}

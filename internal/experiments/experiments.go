@@ -1,0 +1,380 @@
+// Package experiments drives the system-level evaluation of §7: the
+// Figure 14 sweep (Baseline / PR² / AR² / PnAR² / NoRR over twelve
+// workloads and a grid of operating conditions) and the Figure 15 sweep
+// (PSO and PSO+PnAR² against the same baseline), plus text rendering for
+// every reproduced table and figure. cmd/repro and the repository benches
+// are thin wrappers over this package.
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"readretry/internal/core"
+	"readretry/internal/mathx"
+	"readretry/internal/ssd"
+	"readretry/internal/trace"
+	"readretry/internal/workload"
+)
+
+// Condition is one (PEC, retention) evaluation point of Figures 14/15.
+type Condition struct {
+	PEC    int
+	Months float64
+}
+
+// String formats the condition as the figures label it.
+func (c Condition) String() string {
+	return fmt.Sprintf("%dK/%gmo", c.PEC/1000, c.Months)
+}
+
+// Config parameterizes a sweep.
+type Config struct {
+	// Base is the device template; scheme fields are overwritten per run.
+	Base ssd.Config
+	// Workloads are Table 2 names; nil selects all twelve.
+	Workloads []string
+	// Conditions are the (PEC, t_RET) grid; nil selects the default
+	// {1K, 2K} × {0, 1, 3, 6, 12} months.
+	Conditions []Condition
+	// Requests per run and the workload arrival rate.
+	Requests int
+	IOPS     float64
+	Seed     uint64
+}
+
+// DefaultConfig returns the full Figure 14/15 sweep at experiment scale.
+func DefaultConfig() Config {
+	return Config{
+		Base:      ssd.ExperimentConfig(),
+		Workloads: workload.Names(),
+		Conditions: []Condition{
+			{1000, 0}, {1000, 1}, {1000, 3}, {1000, 6}, {1000, 12},
+			{2000, 0}, {2000, 1}, {2000, 3}, {2000, 6}, {2000, 12},
+		},
+		Requests: 2500,
+		IOPS:     1200,
+		Seed:     7,
+	}
+}
+
+// QuickConfig returns a reduced sweep for smoke tests and benches.
+func QuickConfig() Config {
+	cfg := DefaultConfig()
+	cfg.Workloads = []string{"stg_0", "mds_1", "YCSB-C"}
+	cfg.Conditions = []Condition{{1000, 3}, {2000, 6}}
+	cfg.Requests = 1200
+	return cfg
+}
+
+// Cell is one bar of Figure 14/15: a (workload, condition, configuration)
+// measurement.
+type Cell struct {
+	Workload   string
+	Cond       Condition
+	Config     string  // "Baseline", "PR2", …, "PSO", "PSO+PnAR2"
+	Mean       float64 // mean response time, µs
+	MeanRead   float64
+	Normalized float64 // Mean / Baseline's Mean at the same (workload, cond)
+	RetrySteps float64 // mean N_RR observed
+}
+
+// Result is a completed sweep.
+type Result struct {
+	Cells []Cell
+	// Configs lists the configurations in presentation order.
+	Configs []string
+}
+
+// traceFor builds the deterministic request stream for a workload sized to
+// the device. The arrival rate is normalized by the workload's average
+// request size so every workload presents the same page-level load (IOPS is
+// interpreted as pages per second).
+func traceFor(cfg Config, name string) ([]trace.Record, error) {
+	spec, err := workload.ByName(name)
+	if err != nil {
+		return nil, err
+	}
+	spec.FootprintPages = cfg.Base.TotalPages() * 6 / 10
+	spec.AvgIOPS = cfg.IOPS / spec.AvgPagesPerRequest()
+	return workload.NewGenerator(spec, cfg.Seed).Generate(cfg.Requests), nil
+}
+
+// runOne executes a single (workload, condition, scheme) simulation.
+func runOne(cfg Config, recs []trace.Record, cond Condition, scheme core.Scheme, usePSO bool) (*ssd.Stats, error) {
+	devCfg := cfg.Base
+	devCfg.Scheme = scheme
+	devCfg.UsePSO = usePSO
+	devCfg.PEC = cond.PEC
+	devCfg.RetentionMonths = cond.Months
+	dev, err := ssd.New(devCfg)
+	if err != nil {
+		return nil, err
+	}
+	// Replay a copy: the device mutates nothing, but keep the contract
+	// explicit for future readers.
+	return dev.Run(recs)
+}
+
+// Figure14 runs the five-configuration sweep and normalizes to Baseline.
+func Figure14(cfg Config) (*Result, error) {
+	schemes := []core.Scheme{core.Baseline, core.PR2, core.AR2, core.PnAR2, core.NoRR}
+	res := &Result{}
+	for _, s := range schemes {
+		res.Configs = append(res.Configs, s.String())
+	}
+	for _, wl := range cfg.Workloads {
+		recs, err := traceFor(cfg, wl)
+		if err != nil {
+			return nil, err
+		}
+		for _, cond := range cfg.Conditions {
+			var baseline float64
+			for _, scheme := range schemes {
+				st, err := runOne(cfg, recs, cond, scheme, false)
+				if err != nil {
+					return nil, fmt.Errorf("%s %v %v: %w", wl, cond, scheme, err)
+				}
+				mean := st.MeanAll()
+				if scheme == core.Baseline {
+					baseline = mean
+				}
+				res.Cells = append(res.Cells, Cell{
+					Workload: wl, Cond: cond, Config: scheme.String(),
+					Mean: mean, MeanRead: st.MeanRead(),
+					Normalized: mean / baseline,
+					RetrySteps: st.MeanRetrySteps(),
+				})
+			}
+		}
+	}
+	return res, nil
+}
+
+// Figure15 runs the PSO comparison: PSO alone and PSO+PnAR², normalized to
+// the *plain* Baseline of Figure 14 (as the paper plots), with NoRR as the
+// ideal reference.
+func Figure15(cfg Config) (*Result, error) {
+	type variant struct {
+		name   string
+		scheme core.Scheme
+		pso    bool
+	}
+	variants := []variant{
+		{"Baseline", core.Baseline, false},
+		{"PSO", core.Baseline, true},
+		{"PSO+PnAR2", core.PnAR2, true},
+		{"NoRR", core.NoRR, false},
+	}
+	res := &Result{}
+	for _, v := range variants {
+		res.Configs = append(res.Configs, v.name)
+	}
+	for _, wl := range cfg.Workloads {
+		recs, err := traceFor(cfg, wl)
+		if err != nil {
+			return nil, err
+		}
+		for _, cond := range cfg.Conditions {
+			var baseline float64
+			for _, v := range variants {
+				st, err := runOne(cfg, recs, cond, v.scheme, v.pso)
+				if err != nil {
+					return nil, fmt.Errorf("%s %v %s: %w", wl, cond, v.name, err)
+				}
+				mean := st.MeanAll()
+				if v.name == "Baseline" {
+					baseline = mean
+				}
+				res.Cells = append(res.Cells, Cell{
+					Workload: wl, Cond: cond, Config: v.name,
+					Mean: mean, MeanRead: st.MeanRead(),
+					Normalized: mean / baseline,
+					RetrySteps: st.MeanRetrySteps(),
+				})
+			}
+		}
+	}
+	return res, nil
+}
+
+// cells selects measurements by configuration name.
+func (r *Result) cells(config string) []Cell {
+	var out []Cell
+	for _, c := range r.Cells {
+		if c.Config == config {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// Reduction returns the response-time reduction of config vs the reference
+// configuration across matching cells: (avg, max), both as fractions.
+func (r *Result) Reduction(config, reference string, readDominantOnly bool) (avg, max float64) {
+	if readDominantOnly {
+		return r.ReductionWhere(config, reference, func(s workload.Spec) bool {
+			return s.ReadDominant()
+		})
+	}
+	return r.ReductionWhere(config, reference, func(workload.Spec) bool { return true })
+}
+
+// ReductionWhere is Reduction restricted to workloads matching the filter
+// (e.g. the paper's read-dominant / write-dominant split in §7.3).
+func (r *Result) ReductionWhere(config, reference string, keep func(workload.Spec) bool) (avg, max float64) {
+	ref := map[string]float64{}
+	for _, c := range r.cells(reference) {
+		ref[c.Workload+c.Cond.String()] = c.Mean
+	}
+	var stats mathx.Running
+	for _, c := range r.cells(config) {
+		spec, err := workload.ByName(c.Workload)
+		if err != nil || !keep(spec) {
+			continue
+		}
+		base, ok := ref[c.Workload+c.Cond.String()]
+		if !ok || base == 0 {
+			continue
+		}
+		stats.Add(1 - c.Mean/base)
+	}
+	return stats.Mean(), stats.Max()
+}
+
+// RatioToNoRR returns the average ratio of config's response time to the
+// ideal NoRR device (the paper's "2.37× NoRR" style statistics).
+func (r *Result) RatioToNoRR(config string, readDominantOnly bool) float64 {
+	ideal := map[string]float64{}
+	for _, c := range r.cells("NoRR") {
+		ideal[c.Workload+c.Cond.String()] = c.Mean
+	}
+	var stats mathx.Running
+	for _, c := range r.cells(config) {
+		if readDominantOnly {
+			spec, err := workload.ByName(c.Workload)
+			if err != nil || !spec.ReadDominant() {
+				continue
+			}
+		}
+		id := ideal[c.Workload+c.Cond.String()]
+		if id > 0 {
+			stats.Add(c.Mean / id)
+		}
+	}
+	return stats.Mean()
+}
+
+// GapClosed returns how much of the Baseline→NoRR response-time gap the
+// configuration closes on average (§7.2 reports 41 % for PnAR²).
+func (r *Result) GapClosed(config string) float64 {
+	base := map[string]float64{}
+	for _, c := range r.cells("Baseline") {
+		base[c.Workload+c.Cond.String()] = c.Mean
+	}
+	ideal := map[string]float64{}
+	for _, c := range r.cells("NoRR") {
+		ideal[c.Workload+c.Cond.String()] = c.Mean
+	}
+	var stats mathx.Running
+	for _, c := range r.cells(config) {
+		key := c.Workload + c.Cond.String()
+		b, i := base[key], ideal[key]
+		if b <= i {
+			continue
+		}
+		stats.Add((b - c.Mean) / (b - i))
+	}
+	return stats.Mean()
+}
+
+// ReductionAt returns config's average reduction vs reference restricted to
+// one condition (the paper quotes (2K, 6 mo)).
+func (r *Result) ReductionAt(config, reference string, cond Condition) float64 {
+	ref := map[string]float64{}
+	for _, c := range r.cells(reference) {
+		if c.Cond == cond {
+			ref[c.Workload] = c.Mean
+		}
+	}
+	var stats mathx.Running
+	for _, c := range r.cells(config) {
+		if c.Cond != cond {
+			continue
+		}
+		if base, ok := ref[c.Workload]; ok && base > 0 {
+			stats.Add(1 - c.Mean/base)
+		}
+	}
+	return stats.Mean()
+}
+
+// Render writes the sweep as an aligned text table: one row per
+// (workload, condition), one column per configuration, normalized values.
+func (r *Result) Render(w io.Writer) {
+	type key struct {
+		wl   string
+		cond Condition
+	}
+	rows := map[key]map[string]float64{}
+	var keys []key
+	for _, c := range r.Cells {
+		k := key{c.Workload, c.Cond}
+		if rows[k] == nil {
+			rows[k] = map[string]float64{}
+			keys = append(keys, k)
+		}
+		rows[k][c.Config] = c.Normalized
+	}
+	sort.SliceStable(keys, func(i, j int) bool {
+		if keys[i].wl != keys[j].wl {
+			return workloadOrder(keys[i].wl) < workloadOrder(keys[j].wl)
+		}
+		if keys[i].cond.PEC != keys[j].cond.PEC {
+			return keys[i].cond.PEC < keys[j].cond.PEC
+		}
+		return keys[i].cond.Months < keys[j].cond.Months
+	})
+	fmt.Fprintf(w, "%-10s %-9s", "workload", "cond")
+	for _, cfg := range r.Configs {
+		fmt.Fprintf(w, " %10s", cfg)
+	}
+	fmt.Fprintln(w)
+	fmt.Fprintln(w, strings.Repeat("-", 20+11*len(r.Configs)))
+	for _, k := range keys {
+		fmt.Fprintf(w, "%-10s %-9s", k.wl, k.cond.String())
+		for _, cfg := range r.Configs {
+			fmt.Fprintf(w, " %10.3f", rows[k][cfg])
+		}
+		fmt.Fprintln(w)
+	}
+}
+
+func workloadOrder(name string) int {
+	for i, n := range workload.Names() {
+		if n == name {
+			return i
+		}
+	}
+	return len(workload.Names())
+}
+
+// WriteCSV emits the raw cells as CSV (one measurement per row) for
+// external plotting: workload, pec, months, config, mean_us, mean_read_us,
+// normalized, retry_steps.
+func (r *Result) WriteCSV(w io.Writer) error {
+	if _, err := fmt.Fprintln(w,
+		"workload,pec,months,config,mean_us,mean_read_us,normalized,retry_steps"); err != nil {
+		return err
+	}
+	for _, c := range r.Cells {
+		if _, err := fmt.Fprintf(w, "%s,%d,%g,%s,%.2f,%.2f,%.4f,%.2f\n",
+			c.Workload, c.Cond.PEC, c.Cond.Months, c.Config,
+			c.Mean, c.MeanRead, c.Normalized, c.RetrySteps); err != nil {
+			return err
+		}
+	}
+	return nil
+}

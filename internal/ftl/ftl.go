@@ -1,0 +1,353 @@
+// Package ftl implements the flash-translation-layer bookkeeping the SSD
+// simulator drives: page-level logical→physical mapping, per-plane write
+// allocation with wear-aware free-block selection, valid-page tracking, and
+// greedy garbage-collection victim selection.
+//
+// The package is purely a data structure — it decides *where* data lives
+// and *which* block to collect; the simulator (internal/ssd) turns those
+// decisions into timed die operations. Keeping the FTL synchronous makes
+// its invariants directly testable.
+package ftl
+
+import (
+	"container/heap"
+	"fmt"
+)
+
+// PPN is a physical page number: a die-global physical location.
+type PPN struct {
+	Die   int // global die index across all channels
+	Plane int
+	Block int // block within the plane
+	Page  int // page within the block
+}
+
+// InvalidPPN marks an unmapped logical page.
+var InvalidPPN = PPN{Die: -1}
+
+// Valid reports whether the PPN refers to a physical location.
+func (p PPN) Valid() bool { return p.Die >= 0 }
+
+// Config sizes the FTL.
+type Config struct {
+	Dies           int // total dies (channels × dies per channel)
+	PlanesPerDie   int
+	BlocksPerPlane int
+	PagesPerBlock  int
+	// GCThresholdBlocks triggers collection when a plane's free-block
+	// count drops to or below it.
+	GCThresholdBlocks int
+}
+
+// Validate reports whether the configuration is usable.
+func (c Config) Validate() error {
+	if c.Dies < 1 || c.PlanesPerDie < 1 || c.BlocksPerPlane < 2 || c.PagesPerBlock < 1 {
+		return fmt.Errorf("ftl: invalid geometry %+v", c)
+	}
+	if c.GCThresholdBlocks < 1 || c.GCThresholdBlocks >= c.BlocksPerPlane {
+		return fmt.Errorf("ftl: GC threshold %d outside (0, %d)", c.GCThresholdBlocks, c.BlocksPerPlane)
+	}
+	return nil
+}
+
+// blockMeta tracks one physical block.
+type blockMeta struct {
+	// state is free, open (actively written), or closed.
+	state     blockState
+	writePtr  int     // next page to program (for open blocks)
+	valid     int     // count of valid pages
+	lpns      []int64 // reverse map: page → LPN (−1 when invalid/unwritten)
+	erases    int     // P/E cycles (wear)
+	cold      bool    // preconditioned cold block (never victimized while fully valid)
+	collected bool    // currently being garbage-collected
+}
+
+type blockState uint8
+
+const (
+	blockFree blockState = iota
+	blockOpen
+	blockClosed
+)
+
+// plane is the allocation domain: free blocks, the active (open) block for
+// host/GC writes, and the preconditioning cold block.
+type plane struct {
+	free      freeHeap // min-heap by erase count (wear leveling)
+	active    int      // open block for writes, −1 if none
+	coldOpen  int      // open block for preconditioned cold fill, −1 if none
+	freeCount int
+}
+
+// FTL is the translation layer state.
+type FTL struct {
+	cfg    Config
+	table  map[int64]PPN // LPN → PPN
+	blocks [][]blockMeta // [globalPlane][block]
+	planes []plane
+
+	hostWrites int64
+	gcWrites   int64
+}
+
+// New builds an FTL with every block free.
+func New(cfg Config) (*FTL, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	nPlanes := cfg.Dies * cfg.PlanesPerDie
+	f := &FTL{
+		cfg:    cfg,
+		table:  make(map[int64]PPN),
+		blocks: make([][]blockMeta, nPlanes),
+		planes: make([]plane, nPlanes),
+	}
+	for p := range f.blocks {
+		f.blocks[p] = make([]blockMeta, cfg.BlocksPerPlane)
+		f.planes[p].active = -1
+		f.planes[p].coldOpen = -1
+		f.planes[p].free = make(freeHeap, cfg.BlocksPerPlane)
+		for b := 0; b < cfg.BlocksPerPlane; b++ {
+			f.planes[p].free[b] = freeBlock{block: b, erases: 0, seq: b}
+		}
+		heap.Init(&f.planes[p].free)
+		f.planes[p].freeCount = cfg.BlocksPerPlane
+	}
+	return f, nil
+}
+
+// Config returns the FTL's configuration.
+func (f *FTL) Config() Config { return f.cfg }
+
+// planeIndex flattens (die, plane).
+func (f *FTL) planeIndex(die, pl int) int { return die*f.cfg.PlanesPerDie + pl }
+
+// StripeOf returns the (die, plane) a logical page is statically allocated
+// to: LPNs stripe channel-first across dies, then across planes, the CWDP
+// allocation MQSim models.
+func (f *FTL) StripeOf(lpn int64) (die, pl int) {
+	die = int(lpn % int64(f.cfg.Dies))
+	pl = int(lpn / int64(f.cfg.Dies) % int64(f.cfg.PlanesPerDie))
+	return die, pl
+}
+
+// Lookup returns the physical location of a logical page.
+func (f *FTL) Lookup(lpn int64) (PPN, bool) {
+	ppn, ok := f.table[lpn]
+	return ppn, ok
+}
+
+// Mapped returns the number of mapped logical pages.
+func (f *FTL) Mapped() int { return len(f.table) }
+
+// FreeBlocks returns the free-block count of a plane.
+func (f *FTL) FreeBlocks(die, pl int) int { return f.planes[f.planeIndex(die, pl)].freeCount }
+
+// popFree removes the least-worn free block of a plane. It returns −1 when
+// the plane is exhausted — a catastrophic condition the simulator treats as
+// a configuration error (overprovisioning too small for the workload).
+func (f *FTL) popFree(pi int) int {
+	pl := &f.planes[pi]
+	if pl.free.Len() == 0 {
+		return -1
+	}
+	fb := heap.Pop(&pl.free).(freeBlock)
+	pl.freeCount--
+	f.blocks[pi][fb.block] = blockMeta{
+		state:  blockOpen,
+		erases: fb.erases,
+		lpns:   makeLPNs(f.cfg.PagesPerBlock),
+	}
+	return fb.block
+}
+
+func makeLPNs(n int) []int64 {
+	l := make([]int64, n)
+	for i := range l {
+		l[i] = -1
+	}
+	return l
+}
+
+// Precondition maps a logical page that existed before the simulation
+// started (cold data): it is placed in the plane's preconditioning block
+// without consuming simulated time. The caller must not precondition an
+// already mapped LPN.
+func (f *FTL) Precondition(lpn int64) (PPN, error) {
+	if _, ok := f.table[lpn]; ok {
+		return InvalidPPN, fmt.Errorf("ftl: LPN %d already mapped", lpn)
+	}
+	die, pl := f.StripeOf(lpn)
+	pi := f.planeIndex(die, pl)
+	ppn, err := f.appendTo(pi, &f.planes[pi].coldOpen, die, pl, lpn, true)
+	if err != nil {
+		return InvalidPPN, err
+	}
+	f.table[lpn] = ppn
+	return ppn, nil
+}
+
+// AllocateWrite maps a logical page to a fresh physical page for a host or
+// GC write, invalidating any previous location. It returns the new PPN and
+// the invalidated old one (old.Valid() reports whether the LPN was mapped).
+func (f *FTL) AllocateWrite(lpn int64, gc bool) (PPN, PPN, error) {
+	die, pl := f.StripeOf(lpn)
+	pi := f.planeIndex(die, pl)
+	old, had := f.table[lpn]
+	if had {
+		f.invalidate(old)
+	} else {
+		old = InvalidPPN
+	}
+	ppn, err := f.appendTo(pi, &f.planes[pi].active, die, pl, lpn, false)
+	if err != nil {
+		return InvalidPPN, InvalidPPN, err
+	}
+	f.table[lpn] = ppn
+	if gc {
+		f.gcWrites++
+	} else {
+		f.hostWrites++
+	}
+	return ppn, old, nil
+}
+
+// appendTo appends the LPN to the open block referenced by slot, opening a
+// new block when needed.
+func (f *FTL) appendTo(pi int, slot *int, die, pl int, lpn int64, cold bool) (PPN, error) {
+	if *slot < 0 || f.blocks[pi][*slot].writePtr >= f.cfg.PagesPerBlock {
+		if *slot >= 0 {
+			f.blocks[pi][*slot].state = blockClosed
+		}
+		b := f.popFree(pi)
+		if b < 0 {
+			return InvalidPPN, fmt.Errorf("ftl: plane (die %d, plane %d) out of free blocks", die, pl)
+		}
+		f.blocks[pi][b].cold = cold
+		*slot = b
+	}
+	meta := &f.blocks[pi][*slot]
+	page := meta.writePtr
+	meta.writePtr++
+	meta.valid++
+	meta.lpns[page] = lpn
+	return PPN{Die: die, Plane: pl, Block: *slot, Page: page}, nil
+}
+
+// invalidate marks a physical page stale.
+func (f *FTL) invalidate(p PPN) {
+	pi := f.planeIndex(p.Die, p.Plane)
+	meta := &f.blocks[pi][p.Block]
+	if meta.lpns == nil || meta.lpns[p.Page] < 0 {
+		return
+	}
+	meta.lpns[p.Page] = -1
+	meta.valid--
+	meta.cold = false // an invalidated block joins the GC candidate pool
+}
+
+// NeedGC reports whether a plane's free-block count is at or below the GC
+// threshold.
+func (f *FTL) NeedGC(die, pl int) bool {
+	return f.FreeBlocks(die, pl) <= f.cfg.GCThresholdBlocks
+}
+
+// Victim selects the garbage-collection victim for a plane: the closed
+// block with the fewest valid pages (greedy), breaking ties toward the
+// least-worn block so cleaning work doubles as wear leveling. Open blocks,
+// fully-valid cold blocks, and blocks already under collection are skipped.
+// It returns the block index, the valid LPNs that must be relocated, and
+// whether a victim was found.
+func (f *FTL) Victim(die, pl int) (int, []int64, bool) {
+	pi := f.planeIndex(die, pl)
+	best, bestValid, bestErases := -1, f.cfg.PagesPerBlock+1, 1<<30
+	for b := range f.blocks[pi] {
+		meta := &f.blocks[pi][b]
+		if meta.state != blockClosed || meta.collected || meta.cold {
+			continue
+		}
+		if meta.valid < bestValid || (meta.valid == bestValid && meta.erases < bestErases) {
+			best, bestValid, bestErases = b, meta.valid, meta.erases
+		}
+	}
+	if best < 0 {
+		return 0, nil, false
+	}
+	meta := &f.blocks[pi][best]
+	meta.collected = true
+	var lpns []int64
+	for _, lpn := range meta.lpns {
+		if lpn >= 0 {
+			lpns = append(lpns, lpn)
+		}
+	}
+	return best, lpns, true
+}
+
+// OnErase returns a collected (or otherwise emptied) block to the free
+// pool, incrementing its wear. The caller must have relocated all valid
+// pages first; erasing a block with valid pages is a data-loss bug, so it
+// panics.
+func (f *FTL) OnErase(die, pl, block int) {
+	pi := f.planeIndex(die, pl)
+	meta := &f.blocks[pi][block]
+	if meta.valid > 0 {
+		panic(fmt.Sprintf("ftl: erasing block (d%d p%d b%d) with %d valid pages",
+			die, pl, block, meta.valid))
+	}
+	erases := meta.erases + 1
+	f.blocks[pi][block] = blockMeta{state: blockFree, erases: erases}
+	p := &f.planes[pi]
+	heap.Push(&p.free, freeBlock{block: block, erases: erases, seq: block})
+	p.freeCount++
+}
+
+// BlockValid returns the valid-page count of a block, for tests and stats.
+func (f *FTL) BlockValid(die, pl, block int) int {
+	return f.blocks[f.planeIndex(die, pl)][block].valid
+}
+
+// BlockErases returns a block's erase count.
+func (f *FTL) BlockErases(die, pl, block int) int {
+	return f.blocks[f.planeIndex(die, pl)][block].erases
+}
+
+// WriteCounts returns cumulative host and GC page writes — the inputs to a
+// write-amplification calculation.
+func (f *FTL) WriteCounts() (host, gc int64) { return f.hostWrites, f.gcWrites }
+
+// WriteAmplification returns (host+gc)/host page writes, or 1 when no host
+// writes have happened.
+func (f *FTL) WriteAmplification() float64 {
+	if f.hostWrites == 0 {
+		return 1
+	}
+	return float64(f.hostWrites+f.gcWrites) / float64(f.hostWrites)
+}
+
+// freeHeap is a min-heap of free blocks ordered by erase count, breaking
+// ties by block index for determinism.
+type freeBlock struct {
+	block  int
+	erases int
+	seq    int
+}
+
+type freeHeap []freeBlock
+
+func (h freeHeap) Len() int { return len(h) }
+func (h freeHeap) Less(i, j int) bool {
+	if h[i].erases != h[j].erases {
+		return h[i].erases < h[j].erases
+	}
+	return h[i].seq < h[j].seq
+}
+func (h freeHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *freeHeap) Push(x any)   { *h = append(*h, x.(freeBlock)) }
+func (h *freeHeap) Pop() any {
+	old := *h
+	n := len(old)
+	v := old[n-1]
+	*h = old[:n-1]
+	return v
+}

@@ -1,0 +1,269 @@
+package mathx
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func almostEqual(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestPhiKnownValues(t *testing.T) {
+	cases := []struct{ x, want float64 }{
+		{0, 0.5},
+		{1, 0.8413447460685429},
+		{-1, 0.15865525393145705},
+		{2, 0.9772498680518208},
+		{-3, 0.0013498980316300933},
+	}
+	for _, c := range cases {
+		if got := Phi(c.x); !almostEqual(got, c.want, 1e-12) {
+			t.Errorf("Phi(%v) = %v, want %v", c.x, got, c.want)
+		}
+	}
+}
+
+func TestQComplementsPhi(t *testing.T) {
+	for x := -6.0; x <= 6.0; x += 0.25 {
+		if got := Q(x) + Phi(x); !almostEqual(got, 1, 1e-12) {
+			t.Errorf("Q(%v)+Phi(%v) = %v, want 1", x, x, got)
+		}
+	}
+}
+
+func TestQDeepTail(t *testing.T) {
+	// Q must stay accurate where 1-Phi would cancel to zero.
+	got := Q(8)
+	want := 6.22096057e-16
+	if got <= 0 || math.Abs(got-want)/want > 1e-6 {
+		t.Errorf("Q(8) = %g, want ≈ %g", got, want)
+	}
+}
+
+func TestGaussianTails(t *testing.T) {
+	if got := GaussianTailAbove(10, 10, 2); !almostEqual(got, 0.5, 1e-12) {
+		t.Errorf("TailAbove at mean = %v, want 0.5", got)
+	}
+	if got := GaussianTailBelow(10, 10, 2); !almostEqual(got, 0.5, 1e-12) {
+		t.Errorf("TailBelow at mean = %v, want 0.5", got)
+	}
+	// Degenerate sigma behaves as a step.
+	if got := GaussianTailAbove(5, 10, 0); got != 1 {
+		t.Errorf("degenerate TailAbove = %v, want 1", got)
+	}
+	if got := GaussianTailBelow(5, 10, 0); got != 0 {
+		t.Errorf("degenerate TailBelow = %v, want 0", got)
+	}
+}
+
+func TestGaussianTailSymmetryProperty(t *testing.T) {
+	f := func(x, mu float64, sigmaRaw float64) bool {
+		sigma := math.Abs(sigmaRaw)
+		if sigma < 1e-6 || sigma > 1e6 || math.Abs(x) > 1e6 || math.Abs(mu) > 1e6 {
+			return true
+		}
+		up := GaussianTailAbove(x, mu, sigma)
+		down := GaussianTailBelow(x, mu, sigma)
+		return almostEqual(up+down, 1, 1e-9)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBisectFindsRoot(t *testing.T) {
+	f := func(x float64) float64 { return x*x - 2 }
+	root, err := Bisect(f, 0, 2, 1e-12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEqual(root, math.Sqrt2, 1e-10) {
+		t.Errorf("root = %v, want sqrt(2)", root)
+	}
+}
+
+func TestBisectNoBracket(t *testing.T) {
+	f := func(x float64) float64 { return x*x + 1 }
+	if _, err := Bisect(f, -1, 1, 1e-9); err != ErrNoBracket {
+		t.Errorf("err = %v, want ErrNoBracket", err)
+	}
+}
+
+func TestBisectEndpointRoots(t *testing.T) {
+	f := func(x float64) float64 { return x }
+	if root, err := Bisect(f, 0, 1, 1e-9); err != nil || root != 0 {
+		t.Errorf("got (%v, %v), want (0, nil)", root, err)
+	}
+	if root, err := Bisect(f, -1, 0, 1e-9); err != nil || root != 0 {
+		t.Errorf("got (%v, %v), want (0, nil)", root, err)
+	}
+}
+
+func TestMinimizeGolden(t *testing.T) {
+	f := func(x float64) float64 { return (x - 3.25) * (x - 3.25) }
+	x := MinimizeGolden(f, 0, 10, 1e-9)
+	if !almostEqual(x, 3.25, 1e-6) {
+		t.Errorf("argmin = %v, want 3.25", x)
+	}
+}
+
+func TestRunningBasics(t *testing.T) {
+	var r Running
+	for _, x := range []float64{2, 4, 4, 4, 5, 5, 7, 9} {
+		r.Add(x)
+	}
+	if r.N() != 8 {
+		t.Fatalf("N = %d, want 8", r.N())
+	}
+	if !almostEqual(r.Mean(), 5, 1e-12) {
+		t.Errorf("Mean = %v, want 5", r.Mean())
+	}
+	if !almostEqual(r.Variance(), 32.0/7.0, 1e-12) {
+		t.Errorf("Variance = %v, want %v", r.Variance(), 32.0/7.0)
+	}
+	if r.Min() != 2 || r.Max() != 9 {
+		t.Errorf("Min/Max = %v/%v, want 2/9", r.Min(), r.Max())
+	}
+}
+
+func TestRunningMergeMatchesSequential(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5, 6, 7, 8, 9, 10, -3, 2.5}
+	var all, a, b Running
+	for i, x := range xs {
+		all.Add(x)
+		if i%2 == 0 {
+			a.Add(x)
+		} else {
+			b.Add(x)
+		}
+	}
+	a.Merge(&b)
+	if a.N() != all.N() {
+		t.Fatalf("merged N = %d, want %d", a.N(), all.N())
+	}
+	if !almostEqual(a.Mean(), all.Mean(), 1e-9) {
+		t.Errorf("merged Mean = %v, want %v", a.Mean(), all.Mean())
+	}
+	if !almostEqual(a.Variance(), all.Variance(), 1e-9) {
+		t.Errorf("merged Variance = %v, want %v", a.Variance(), all.Variance())
+	}
+	if a.Min() != all.Min() || a.Max() != all.Max() {
+		t.Errorf("merged Min/Max = %v/%v, want %v/%v", a.Min(), a.Max(), all.Min(), all.Max())
+	}
+}
+
+func TestRunningMergeEmpty(t *testing.T) {
+	var a, b Running
+	a.Add(1)
+	a.Merge(&b) // merging empty is a no-op
+	if a.N() != 1 {
+		t.Errorf("N = %d, want 1", a.N())
+	}
+	b.Merge(&a) // merging into empty copies
+	if b.N() != 1 || b.Mean() != 1 {
+		t.Errorf("b = %+v, want copy of a", b)
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	xs := []float64{15, 20, 35, 40, 50}
+	cases := []struct{ p, want float64 }{
+		{0, 15}, {100, 50}, {50, 35}, {25, 20}, {75, 40},
+	}
+	for _, c := range cases {
+		if got := Percentile(xs, c.p); !almostEqual(got, c.want, 1e-12) {
+			t.Errorf("Percentile(%v) = %v, want %v", c.p, got, c.want)
+		}
+	}
+	if got := Percentile(nil, 50); got != 0 {
+		t.Errorf("Percentile(nil) = %v, want 0", got)
+	}
+	// interpolation between ranks
+	if got := Percentile([]float64{10, 20}, 50); !almostEqual(got, 15, 1e-12) {
+		t.Errorf("interpolated = %v, want 15", got)
+	}
+}
+
+func TestPercentileDoesNotMutate(t *testing.T) {
+	xs := []float64{3, 1, 2}
+	Percentile(xs, 50)
+	if xs[0] != 3 || xs[1] != 1 || xs[2] != 2 {
+		t.Errorf("input mutated: %v", xs)
+	}
+}
+
+func TestPercentileSortedMatchesPercentile(t *testing.T) {
+	f := func(raw []float64, pRaw float64) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		for _, v := range raw {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				return true
+			}
+		}
+		p := math.Mod(math.Abs(pRaw), 100)
+		a := Percentile(raw, p)
+		sorted := make([]float64, len(raw))
+		copy(sorted, raw)
+		for i := 1; i < len(sorted); i++ {
+			for j := i; j > 0 && sorted[j] < sorted[j-1]; j-- {
+				sorted[j], sorted[j-1] = sorted[j-1], sorted[j]
+			}
+		}
+		return a == PercentileSorted(sorted, p)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	h := NewHistogram(0, 10, 10)
+	for i := 0; i < 10; i++ {
+		h.Add(float64(i) + 0.5)
+	}
+	for i := 0; i < 10; i++ {
+		if h.Counts[i] != 1 {
+			t.Errorf("bin %d = %d, want 1", i, h.Counts[i])
+		}
+	}
+	h.Add(-5) // clamps to first bin
+	h.Add(99) // clamps to last bin
+	if h.Counts[0] != 2 || h.Counts[9] != 2 {
+		t.Errorf("edge bins = %d/%d, want 2/2", h.Counts[0], h.Counts[9])
+	}
+	if h.Total() != 12 {
+		t.Errorf("Total = %d, want 12", h.Total())
+	}
+	if !almostEqual(h.Fraction(0), 2.0/12.0, 1e-12) {
+		t.Errorf("Fraction(0) = %v", h.Fraction(0))
+	}
+}
+
+func TestHistogramPanicsOnBadBounds(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic for hi <= lo")
+		}
+	}()
+	NewHistogram(5, 5, 10)
+}
+
+func TestClamp(t *testing.T) {
+	if got := Clamp(5, 0, 3); got != 3 {
+		t.Errorf("Clamp = %v, want 3", got)
+	}
+	if got := Clamp(-1, 0, 3); got != 0 {
+		t.Errorf("Clamp = %v, want 0", got)
+	}
+	if got := Clamp(2, 0, 3); got != 2 {
+		t.Errorf("Clamp = %v, want 2", got)
+	}
+	if got := ClampInt(7, 1, 6); got != 6 {
+		t.Errorf("ClampInt = %v, want 6", got)
+	}
+	if got := ClampInt(0, 1, 6); got != 1 {
+		t.Errorf("ClampInt = %v, want 1", got)
+	}
+}

@@ -1,0 +1,318 @@
+// Package rng provides the deterministic random-number machinery used across
+// the simulator: a splittable xoshiro256++ generator plus the sampling
+// distributions the chip model and workload generators need (Gaussian,
+// exponential, Poisson, Zipfian, YCSB scrambled-Zipfian, latest).
+//
+// Reproducibility is a hard requirement for the experiment harness: every
+// figure in EXPERIMENTS.md must regenerate bit-identically from a seed, so
+// the package does not use math/rand's global state anywhere.
+package rng
+
+import (
+	"math"
+	"math/bits"
+)
+
+// Source is a deterministic xoshiro256++ PRNG. The zero value is not usable;
+// construct with New or Split.
+type Source struct {
+	s [4]uint64
+	// cached second Gaussian variate from the polar method
+	gauss    float64
+	hasGauss bool
+}
+
+// New returns a Source seeded from seed via SplitMix64, which guarantees a
+// well-mixed nonzero state for any seed, including 0.
+func New(seed uint64) *Source {
+	var src Source
+	src.reseed(seed)
+	return &src
+}
+
+func (r *Source) reseed(seed uint64) {
+	sm := seed
+	for i := range r.s {
+		sm += 0x9e3779b97f4a7c15
+		z := sm
+		z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+		z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+		r.s[i] = z ^ (z >> 31)
+	}
+	r.hasGauss = false
+}
+
+// Split derives an independent child generator keyed by label. Two children
+// with different labels produce uncorrelated streams; the parent stream is
+// not disturbed. This is how the chip model gives every (chip, block, page)
+// its own reproducible randomness regardless of visit order.
+func (r *Source) Split(label uint64) *Source {
+	// Mix the current state (without advancing it) with the label through
+	// SplitMix64 so children are decorrelated from the parent and each other.
+	h := r.s[0] ^ (r.s[1] << 1) ^ (r.s[2] << 2) ^ (r.s[3] << 3)
+	return New(h ^ (label * 0xd1342543de82ef95))
+}
+
+func rotl(x uint64, k uint) uint64 { return (x << k) | (x >> (64 - k)) }
+
+// Uint64 returns the next 64 uniformly random bits.
+func (r *Source) Uint64() uint64 {
+	s := &r.s
+	result := rotl(s[0]+s[3], 23) + s[0]
+	t := s[1] << 17
+	s[2] ^= s[0]
+	s[3] ^= s[1]
+	s[1] ^= s[2]
+	s[0] ^= s[3]
+	s[2] ^= t
+	s[3] = rotl(s[3], 45)
+	return result
+}
+
+// Float64 returns a uniform float64 in [0, 1).
+func (r *Source) Float64() float64 {
+	return float64(r.Uint64()>>11) / (1 << 53)
+}
+
+// Intn returns a uniform int in [0, n). It panics if n <= 0.
+func (r *Source) Intn(n int) int {
+	if n <= 0 {
+		panic("rng: Intn with non-positive n")
+	}
+	return int(r.Uint64n(uint64(n)))
+}
+
+// Int63n returns a uniform int64 in [0, n). It panics if n <= 0.
+func (r *Source) Int63n(n int64) int64 {
+	if n <= 0 {
+		panic("rng: Int63n with non-positive n")
+	}
+	return int64(r.Uint64n(uint64(n)))
+}
+
+// Uint64n returns a uniform uint64 in [0, n) using Lemire's multiply-shift
+// rejection method. It panics if n == 0.
+func (r *Source) Uint64n(n uint64) uint64 {
+	if n == 0 {
+		panic("rng: Uint64n with zero n")
+	}
+	// Lemire's multiply-shift with rejection keeps the result exactly uniform.
+	threshold := (-n) % n
+	for {
+		hi, lo := bits.Mul64(r.Uint64(), n)
+		if lo >= threshold {
+			return hi
+		}
+	}
+}
+
+// NormFloat64 returns a standard normal variate via the Marsaglia polar
+// method (two uniforms per pair, second cached).
+func (r *Source) NormFloat64() float64 {
+	if r.hasGauss {
+		r.hasGauss = false
+		return r.gauss
+	}
+	for {
+		u := 2*r.Float64() - 1
+		v := 2*r.Float64() - 1
+		s := u*u + v*v
+		if s >= 1 || s == 0 {
+			continue
+		}
+		f := math.Sqrt(-2 * math.Log(s) / s)
+		r.gauss = v * f
+		r.hasGauss = true
+		return u * f
+	}
+}
+
+// ExpFloat64 returns an exponential variate with rate 1 (mean 1).
+func (r *Source) ExpFloat64() float64 {
+	for {
+		u := r.Float64()
+		if u > 0 {
+			return -math.Log(u)
+		}
+	}
+}
+
+// Poisson returns a Poisson variate with the given mean. For large means it
+// uses the Gaussian approximation (the workload generator only needs moment
+// fidelity there).
+func (r *Source) Poisson(mean float64) int {
+	if mean <= 0 {
+		return 0
+	}
+	if mean > 64 {
+		v := mean + math.Sqrt(mean)*r.NormFloat64()
+		if v < 0 {
+			return 0
+		}
+		return int(v + 0.5)
+	}
+	l := math.Exp(-mean)
+	k, p := 0, 1.0
+	for {
+		p *= r.Float64()
+		if p <= l {
+			return k
+		}
+		k++
+	}
+}
+
+// Bernoulli returns true with probability p.
+func (r *Source) Bernoulli(p float64) bool {
+	return r.Float64() < p
+}
+
+// Binomial returns a Binomial(n, p) variate. For small n it runs n Bernoulli
+// trials; for large n·p it uses the Gaussian approximation, which is all the
+// error-count sampling needs.
+func (r *Source) Binomial(n int, p float64) int {
+	if n <= 0 || p <= 0 {
+		return 0
+	}
+	if p >= 1 {
+		return n
+	}
+	mean := float64(n) * p
+	if n > 128 && mean > 16 && float64(n)*(1-p) > 16 {
+		sd := math.Sqrt(mean * (1 - p))
+		v := mean + sd*r.NormFloat64()
+		switch {
+		case v < 0:
+			return 0
+		case v > float64(n):
+			return n
+		}
+		return int(v + 0.5)
+	}
+	k := 0
+	for i := 0; i < n; i++ {
+		if r.Float64() < p {
+			k++
+		}
+	}
+	return k
+}
+
+// Zipf samples from a Zipfian distribution over {0, …, n-1} with exponent
+// theta (YCSB uses theta = 0.99). It implements Gray et al.'s rejection-free
+// inverse method used by YCSB's ZipfianGenerator.
+type Zipf struct {
+	n     int64
+	theta float64
+	alpha float64
+	zetan float64
+	eta   float64
+	zeta2 float64
+}
+
+// NewZipf builds a Zipfian sampler over n items. It panics if n < 1 or
+// theta is not in (0, 1).
+func NewZipf(n int64, theta float64) *Zipf {
+	if n < 1 {
+		panic("rng: Zipf with n < 1")
+	}
+	if theta <= 0 || theta >= 1 {
+		panic("rng: Zipf theta must be in (0,1)")
+	}
+	z := &Zipf{n: n, theta: theta}
+	z.zetan = zeta(n, theta)
+	z.zeta2 = zeta(2, theta)
+	z.alpha = 1 / (1 - theta)
+	z.eta = (1 - math.Pow(2/float64(n), 1-theta)) / (1 - z.zeta2/z.zetan)
+	return z
+}
+
+func zeta(n int64, theta float64) float64 {
+	// Exact summation up to a cap, then the Euler–Maclaurin integral tail;
+	// for the population sizes the workloads use (≤ 2^28) the approximation
+	// error is far below sampling noise.
+	const maxExact = 1 << 20
+	sum := 0.0
+	limit := n
+	if limit > maxExact {
+		limit = maxExact
+	}
+	for i := int64(1); i <= limit; i++ {
+		sum += 1 / math.Pow(float64(i), theta)
+	}
+	if n > limit {
+		// ∫_{limit}^{n} x^-theta dx
+		a := 1 - theta
+		sum += (math.Pow(float64(n), a) - math.Pow(float64(limit), a)) / a
+	}
+	return sum
+}
+
+// N returns the population size.
+func (z *Zipf) N() int64 { return z.n }
+
+// Sample draws the next rank in [0, n), rank 0 being the most popular.
+func (z *Zipf) Sample(r *Source) int64 {
+	u := r.Float64()
+	uz := u * z.zetan
+	if uz < 1 {
+		return 0
+	}
+	if uz < 1+math.Pow(0.5, z.theta) {
+		return 1
+	}
+	v := int64(float64(z.n) * math.Pow(z.eta*u-z.eta+1, z.alpha))
+	if v < 0 {
+		v = 0
+	}
+	if v >= z.n {
+		v = z.n - 1
+	}
+	return v
+}
+
+// ScrambledSample draws a Zipfian rank and scatters it uniformly over the key
+// space with a 64-bit hash, matching YCSB's ScrambledZipfianGenerator: the
+// popularity distribution is Zipfian but the popular keys are spread across
+// the whole space rather than clustered at 0.
+func (z *Zipf) ScrambledSample(r *Source) int64 {
+	rank := z.Sample(r)
+	return int64(fnvMix(uint64(rank)) % uint64(z.n))
+}
+
+func fnvMix(x uint64) uint64 {
+	// FNV-1a over the 8 bytes of x, then a finalizing avalanche.
+	h := uint64(14695981039346656037)
+	for i := 0; i < 8; i++ {
+		h ^= (x >> (8 * i)) & 0xff
+		h *= 1099511628211
+	}
+	h ^= h >> 33
+	h *= 0xff51afd7ed558ccd
+	h ^= h >> 33
+	return h
+}
+
+// Latest samples from YCSB's "latest" distribution over a growing population:
+// item n-1 (the most recently inserted) is the most popular, with Zipfian
+// decay toward older items.
+type Latest struct {
+	zipf *Zipf
+}
+
+// NewLatest builds a latest-distribution sampler over n initial items.
+func NewLatest(n int64, theta float64) *Latest {
+	return &Latest{zipf: NewZipf(n, theta)}
+}
+
+// Sample draws an index in [0, max); index max-1 is most popular.
+func (l *Latest) Sample(r *Source, max int64) int64 {
+	if max <= 0 {
+		return 0
+	}
+	rank := l.zipf.Sample(r)
+	if rank >= max {
+		rank = rank % max
+	}
+	return max - 1 - rank
+}

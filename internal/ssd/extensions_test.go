@@ -1,0 +1,227 @@
+package ssd
+
+import (
+	"math"
+	"testing"
+
+	"readretry/internal/core"
+)
+
+// Tests for the §8 "Discussion" extensions: reduced-timing regular reads
+// and the model-guided drift predictor.
+
+func TestReducedRegularReadsRequiresAdaptiveScheme(t *testing.T) {
+	cfg := tinyConfig()
+	cfg.ReducedRegularReads = true // Scheme is Baseline
+	if cfg.Validate() == nil {
+		t.Error("ReducedRegularReads with Baseline should fail validation")
+	}
+	cfg.Scheme = core.PnAR2
+	if err := cfg.Validate(); err != nil {
+		t.Errorf("PnAR2 + ReducedRegularReads should validate: %v", err)
+	}
+}
+
+func TestReducedRegularReadsSpeedUpCleanReads(t *testing.T) {
+	// On a young device (no retries) the extension shortens every read's
+	// sensing; plain AR² would change nothing.
+	cfg := tinyConfig()
+	cfg.Scheme = core.AR2
+	cfg.PEC, cfg.RetentionMonths = 250, 0.2 // young: almost no retries
+	plain := runWorkload(t, cfg, "YCSB-C", 1200, 800)
+	cfg.ReducedRegularReads = true
+	reduced := runWorkload(t, cfg, "YCSB-C", 1200, 800)
+
+	if plain.MeanRetrySteps() > 0.5 {
+		t.Skip("condition not young enough for a clean-read comparison")
+	}
+	if reduced.MeanRead() >= plain.MeanRead() {
+		t.Errorf("reduced regular reads: %.0f µs, plain AR2: %.0f µs — extension should win",
+			reduced.MeanRead(), plain.MeanRead())
+	}
+	// ≈25 % shorter tR on a 126 µs read ≈ 22 µs; queueing amplifies it.
+	gain := 1 - reduced.MeanRead()/plain.MeanRead()
+	if gain < 0.08 || gain > 0.40 {
+		t.Errorf("clean-read gain = %.1f%%, expected near the ~18%% service-time cut", gain*100)
+	}
+	if reduced.RegReadSetFeatures == 0 {
+		t.Error("extension active but no SET FEATURE issued")
+	}
+}
+
+func TestReducedRegularReadsKeepRetryCountsUnchanged(t *testing.T) {
+	// The RPT margin guarantees the reduction never adds retry steps.
+	cfg := tinyConfig()
+	cfg.Scheme = core.PnAR2
+	cfg.PEC, cfg.RetentionMonths = 2000, 12
+	plain := runWorkload(t, cfg, "YCSB-C", 800, 300)
+	cfg.ReducedRegularReads = true
+	reduced := runWorkload(t, cfg, "YCSB-C", 800, 300)
+	if plain.MeanRetrySteps() != reduced.MeanRetrySteps() {
+		t.Errorf("extension changed N_RR: %.2f vs %.2f",
+			plain.MeanRetrySteps(), reduced.MeanRetrySteps())
+	}
+	if reduced.AR2Fallbacks != 0 {
+		t.Errorf("extension caused %d fallbacks", reduced.AR2Fallbacks)
+	}
+	if reduced.MeanRead() >= plain.MeanRead() {
+		t.Error("extension should still shorten aged reads (initial sensing included)")
+	}
+}
+
+func TestDriftPredictorCutsRetrySteps(t *testing.T) {
+	cfg := tinyConfig()
+	cfg.PEC, cfg.RetentionMonths = 2000, 12
+	plain := runWorkload(t, cfg, "YCSB-C", 800, 300)
+	cfg.UseDriftPredictor = true
+	pred := runWorkload(t, cfg, "YCSB-C", 800, 300)
+	if pred.MeanRetrySteps() >= plain.MeanRetrySteps()/2 {
+		t.Errorf("predictor mean N_RR = %.2f vs %.2f plain; expected a large cut",
+			pred.MeanRetrySteps(), plain.MeanRetrySteps())
+	}
+	if pred.PredictorReads == 0 {
+		t.Error("predictor never used")
+	}
+	// The predictor can beat PSO's 3-step floor (it needs no warm cache)
+	// but not the physics: at least one step per retried read.
+	if pred.MeanRetrySteps() < 1 {
+		t.Errorf("predictor mean N_RR = %.2f — below the 1-step floor", pred.MeanRetrySteps())
+	}
+	if pred.MeanRead() >= plain.MeanRead() {
+		t.Error("fewer steps should mean faster reads")
+	}
+}
+
+func TestDriftPredictorBeatsPSOWithoutWarmup(t *testing.T) {
+	// PSO needs a prior read-retry in the similarity group; the model-based
+	// predictor works from the first read. On a short run the predictor's
+	// mean step count should be at least as good.
+	cfg := tinyConfig()
+	cfg.PEC, cfg.RetentionMonths = 2000, 12
+	cfg.UsePSO = true
+	pso := runWorkload(t, cfg, "YCSB-C", 400, 300)
+	cfg.UsePSO = false
+	cfg.UseDriftPredictor = true
+	pred := runWorkload(t, cfg, "YCSB-C", 400, 300)
+	if pred.MeanRetrySteps() > pso.MeanRetrySteps() {
+		t.Errorf("predictor N_RR %.2f should not trail PSO %.2f on a cold run",
+			pred.MeanRetrySteps(), pso.MeanRetrySteps())
+	}
+}
+
+func TestDriftPredictorLeavesCleanReadsAlone(t *testing.T) {
+	cfg := tinyConfig()
+	cfg.PEC, cfg.RetentionMonths = 0, 0
+	cfg.UseDriftPredictor = true
+	st := runWorkload(t, cfg, "YCSB-C", 600, 800)
+	if st.MeanRetrySteps() != 0 {
+		t.Errorf("fresh device N_RR = %.2f with predictor, want 0", st.MeanRetrySteps())
+	}
+	if st.PredictorReads != 0 {
+		t.Error("predictor should not engage on clean reads")
+	}
+}
+
+// --- utilization statistics -------------------------------------------------
+
+func TestUtilizationStatistics(t *testing.T) {
+	cfg := tinyConfig()
+	cfg.PEC, cfg.RetentionMonths = 1000, 6
+	st := runWorkload(t, cfg, "YCSB-B", 2000, 1500)
+	dieU := st.DieUtilization()
+	chU := st.ChannelUtilization()
+	if dieU <= 0 || dieU > 1 {
+		t.Errorf("die utilization = %.3f, want (0, 1]", dieU)
+	}
+	if chU <= 0 || chU > 1 {
+		t.Errorf("channel utilization = %.3f, want (0, 1]", chU)
+	}
+	// Retry-heavy reads occupy dies much longer than the bus.
+	if dieU <= chU {
+		t.Errorf("die utilization (%.3f) should exceed channel utilization (%.3f)", dieU, chU)
+	}
+}
+
+func TestUtilizationDropsWithPnAR2(t *testing.T) {
+	cfg := tinyConfig()
+	cfg.PEC, cfg.RetentionMonths = 2000, 6
+	base := runWorkload(t, cfg, "YCSB-C", 1000, 400)
+	cfg.Scheme = core.PnAR2
+	both := runWorkload(t, cfg, "YCSB-C", 1000, 400)
+	if both.DieUtilization() >= base.DieUtilization() {
+		t.Errorf("PnAR2 die utilization %.3f should be below Baseline's %.3f",
+			both.DieUtilization(), base.DieUtilization())
+	}
+}
+
+func TestUtilizationZeroSafe(t *testing.T) {
+	var st Stats
+	if st.DieUtilization() != 0 || st.ChannelUtilization() != 0 {
+		t.Error("zero-value stats should report zero utilization")
+	}
+}
+
+func TestRetryStepHistogram(t *testing.T) {
+	cfg := tinyConfig()
+	cfg.PEC, cfg.RetentionMonths = 1000, 6
+	st := runWorkload(t, cfg, "YCSB-C", 800, 400)
+	var total int64
+	weighted := 0.0
+	for n, c := range st.RetryHistogram {
+		total += c
+		weighted += float64(n) * float64(c)
+	}
+	if total != st.RetrySteps.N() {
+		t.Errorf("histogram total %d != sample count %d", total, st.RetrySteps.N())
+	}
+	if mean := weighted / float64(total); math.Abs(mean-st.MeanRetrySteps()) > 1e-9 {
+		t.Errorf("histogram mean %v != running mean %v", mean, st.MeanRetrySteps())
+	}
+	p50 := st.RetryStepPercentile(50)
+	p99 := st.RetryStepPercentile(99)
+	if p50 > p99 {
+		t.Errorf("p50 (%d) above p99 (%d)", p50, p99)
+	}
+	if p99 >= len(st.RetryHistogram) {
+		t.Errorf("p99 %d outside histogram of %d bins", p99, len(st.RetryHistogram))
+	}
+	var empty Stats
+	if empty.RetryStepPercentile(50) != 0 {
+		t.Error("empty histogram percentile should be 0")
+	}
+}
+
+func TestQueueDelayServiceBreakdown(t *testing.T) {
+	cfg := tinyConfig()
+	cfg.PEC, cfg.RetentionMonths = 2000, 6
+	st := runWorkload(t, cfg, "YCSB-C", 1500, 800)
+	if st.ReadQueueDelay.N() == 0 || st.ReadService.N() == 0 {
+		t.Fatal("breakdown not recorded")
+	}
+	// Single-page reads: response ≈ queue delay + service. Means should
+	// compose to the request mean within rounding.
+	sum := st.ReadQueueDelay.Mean() + st.ReadService.Mean()
+	if sum < st.MeanRead()*0.9 || sum > st.MeanRead()*1.1 {
+		t.Errorf("queue (%.0f) + service (%.0f) = %.0f µs, request mean %.0f µs",
+			st.ReadQueueDelay.Mean(), st.ReadService.Mean(), sum, st.MeanRead())
+	}
+	// Retried reads dominate service; it must be far above the 126 µs
+	// clean-read time at (2K, 6mo).
+	if st.ReadService.Mean() < 500 {
+		t.Errorf("service mean %.0f µs implausibly low for an aged device", st.ReadService.Mean())
+	}
+}
+
+func TestPnAR2CutsBothQueueAndService(t *testing.T) {
+	cfg := tinyConfig()
+	cfg.PEC, cfg.RetentionMonths = 2000, 6
+	base := runWorkload(t, cfg, "YCSB-C", 1500, 800)
+	cfg.Scheme = core.PnAR2
+	both := runWorkload(t, cfg, "YCSB-C", 1500, 800)
+	if both.ReadService.Mean() >= base.ReadService.Mean() {
+		t.Error("PnAR2 should cut read service time")
+	}
+	if both.ReadQueueDelay.Mean() >= base.ReadQueueDelay.Mean() {
+		t.Error("shorter service should also drain queues faster")
+	}
+}

@@ -1,0 +1,271 @@
+package ssd
+
+import (
+	"testing"
+
+	"readretry/internal/core"
+	"readretry/internal/sim"
+	"readretry/internal/trace"
+	"readretry/internal/workload"
+)
+
+// Focused scheduler and resource-arbitration tests complementing the
+// end-to-end suite in ssd_test.go.
+
+func TestResourceQueueFIFO(t *testing.T) {
+	eng := &sim.Engine{}
+	q := &resourceQueue{eng: eng}
+	var order []int
+	for i := 0; i < 5; i++ {
+		i := i
+		q.acquire(0, 10*sim.Microsecond, func(sim.Time) { order = append(order, i) })
+	}
+	eng.Run()
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("resource served out of order: %v", order)
+		}
+	}
+	if eng.Now() != 50*sim.Microsecond {
+		t.Errorf("five 10us occupancies should end at 50us, got %v", eng.Now())
+	}
+	if q.busyTime != 50*sim.Microsecond {
+		t.Errorf("busyTime = %v, want 50us", q.busyTime)
+	}
+}
+
+func TestResourceQueueRespectsRequestTime(t *testing.T) {
+	eng := &sim.Engine{}
+	q := &resourceQueue{eng: eng}
+	var end sim.Time
+	eng.Schedule(20*sim.Microsecond, func(now sim.Time) {
+		q.acquire(now, 5*sim.Microsecond, func(e sim.Time) { end = e })
+	})
+	eng.Run()
+	if end != 25*sim.Microsecond {
+		t.Errorf("occupancy ended at %v, want 25us", end)
+	}
+}
+
+func TestEraseSuspendedByRead(t *testing.T) {
+	// A GC erase (5 ms) in flight must yield to an arriving read.
+	cfg := tinyConfig()
+	cfg.PEC, cfg.RetentionMonths = 0, 0
+	dev, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Force a GC erase on die 0 by directly enqueueing the transaction.
+	d := dev.dies[0]
+	block, _, ok := dev.flash.Victim(0, 0)
+	if ok {
+		t.Skip("fresh FTL should have no victim; test relies on manual erase txn")
+	}
+	_ = block
+	dev.eng.Schedule(0, func(now sim.Time) {
+		dev.setBusy(d, now)
+		dev.stats.Erases++
+		dev.dieBusyPhase(d, now, cfg.Timing.TBers, func(done sim.Time) {
+			dev.setIdle(d, done)
+			dev.dispatch(d, done)
+		})
+	})
+	// A read arrives 1 ms into the 5 ms erase.
+	var readDone sim.Time
+	dev.eng.Schedule(sim.Millisecond, func(now sim.Time) {
+		req := &request{arrival: now, lpn: 0, pages: 1}
+		req.remaining = 1
+		if _, okk := dev.flash.Lookup(0); !okk {
+			dev.flash.Precondition(0)
+		}
+		tx := &txn{kind: txnRead, lpn: 0, req: req}
+		dev.enqueue(d, tx, now)
+	})
+	dev.eng.Run()
+	readDone = dev.eng.Now()
+	// With suspension: read completes ≈1.11 ms, erase resumes and finishes
+	// ≈5.09 ms. The read response is tracked in stats; the erase must
+	// still complete in full (simulation end ≥ 5 ms).
+	if readDone < 5*sim.Millisecond {
+		t.Fatalf("erase did not run to completion: end %v", readDone)
+	}
+	if dev.stats.Suspensions == 0 {
+		t.Error("erase was not suspended by the read")
+	}
+	if resp := dev.stats.Reads.Mean(); resp > 300 {
+		t.Errorf("suspended-erase read took %v µs, want ~120 µs", resp)
+	}
+}
+
+func TestGCChainsWhenPlaneStaysLow(t *testing.T) {
+	// Hammer one stripe with writes so a single plane needs several
+	// successive collections; each erase must chain the next job.
+	cfg := tinyConfig()
+	cfg.PEC, cfg.RetentionMonths = 0, 0
+	cfg.PreconditionPages = 0
+	dev, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stride := int64(cfg.Dies() * cfg.Geometry.PlanesPerDie)
+	var recs []trace.Record
+	hotSet := int64(cfg.Geometry.PagesPerBlock) * 3
+	for i := 0; i < 4000; i++ {
+		recs = append(recs, trace.Record{
+			Arrival: sim.Time(i) * 300 * sim.Microsecond,
+			Offset:  (int64(i) % hotSet) * stride * workload.PageSize,
+			Size:    workload.PageSize,
+			Write:   true,
+		})
+	}
+	st, err := dev.Run(recs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.GCJobs < 2 {
+		t.Errorf("expected chained GC jobs, got %d", st.GCJobs)
+	}
+	if st.Erases != st.GCJobs {
+		t.Errorf("every GC job should erase exactly one block: %d jobs, %d erases",
+			st.GCJobs, st.Erases)
+	}
+}
+
+func TestReadsOvertakeQueuedWrites(t *testing.T) {
+	// With read priority, a read submitted after a burst of writes on the
+	// same die completes before the writes drain.
+	cfg := tinyConfig()
+	cfg.PEC, cfg.RetentionMonths = 0, 0
+	dev, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stride := int64(cfg.Dies() * cfg.Geometry.PlanesPerDie)
+	var recs []trace.Record
+	for i := 0; i < 10; i++ {
+		recs = append(recs, trace.Record{
+			Arrival: 0,
+			Offset:  int64(i) * stride * workload.PageSize,
+			Size:    workload.PageSize,
+			Write:   true,
+		})
+	}
+	// The read arrives just after the writes.
+	recs = append(recs, trace.Record{
+		Arrival: 10 * sim.Microsecond,
+		Offset:  100 * stride * workload.PageSize,
+		Size:    workload.PageSize,
+	})
+	st, err := dev.Run(recs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 10 writes at ~716 µs each serialize to ~7 ms; the read must finish
+	// in well under 1 ms (it overtakes and suspends).
+	if st.MeanRead() > 1000 {
+		t.Errorf("read response %v µs; priority scheduling should keep it under ~1 ms",
+			st.MeanRead())
+	}
+}
+
+func TestNoReadPriorityFIFO(t *testing.T) {
+	cfg := tinyConfig()
+	cfg.PEC, cfg.RetentionMonths = 0, 0
+	cfg.DisableReadPrio = true
+	cfg.DisableSuspension = true
+	dev, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stride := int64(cfg.Dies() * cfg.Geometry.PlanesPerDie)
+	var recs []trace.Record
+	for i := 0; i < 10; i++ {
+		recs = append(recs, trace.Record{
+			Arrival: 0,
+			Offset:  int64(i) * stride * workload.PageSize,
+			Size:    workload.PageSize,
+			Write:   true,
+		})
+	}
+	recs = append(recs, trace.Record{
+		Arrival: 10 * sim.Microsecond,
+		Offset:  100 * stride * workload.PageSize,
+		Size:    workload.PageSize,
+	})
+	st, err := dev.Run(recs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// FIFO: the read waits behind ~7 ms of writes.
+	if st.MeanRead() < 5000 {
+		t.Errorf("read response %v µs; FIFO should leave it behind the writes",
+			st.MeanRead())
+	}
+}
+
+func TestChannelContentionSerializesDMA(t *testing.T) {
+	// Four dies on one channel issuing simultaneous reads share one bus:
+	// their four DMAs serialize even though sensing overlaps.
+	cfg := tinyConfig()
+	cfg.PEC, cfg.RetentionMonths = 0, 0
+	dev, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var recs []trace.Record
+	// Dies 0..3 share channel 0 (die = lpn % 16).
+	for die := int64(0); die < 4; die++ {
+		recs = append(recs, trace.Record{
+			Arrival: 0,
+			Offset:  die * workload.PageSize,
+			Size:    workload.PageSize,
+		})
+	}
+	st, err := dev.Run(recs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// All sensings overlap (~78–117 µs); DMAs serialize at 16 µs each, so
+	// the last response lands near tR + 4×tDMA + tECC rather than 4× the
+	// whole read. The mean should sit well under a serialized 4×126 µs.
+	if st.MeanRead() > 300 {
+		t.Errorf("mean read %v µs; channel-level parallelism missing", st.MeanRead())
+	}
+	if st.ChannelBusyTotal < 4*16*sim.Microsecond {
+		t.Errorf("channel busy %v, want ≥ 64 µs of DMA", st.ChannelBusyTotal)
+	}
+}
+
+func TestStrandedTransactionsDetected(t *testing.T) {
+	// Sanity: a normal run never strands transactions (the Run error path).
+	cfg := tinyConfig()
+	dev, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := dev.Run(nil); err != nil {
+		t.Errorf("empty run should succeed: %v", err)
+	}
+}
+
+func TestSchemePlansDriveDieOccupancy(t *testing.T) {
+	// PR² holds the die longer than its response time (speculation +
+	// reset); the utilization accounting must include that tail.
+	cfg := tinyConfig()
+	cfg.PEC, cfg.RetentionMonths = 0, 0
+	cfg.Scheme = core.PR2
+	dev, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs := []trace.Record{{Arrival: 0, Offset: 0, Size: workload.PageSize}}
+	st, err := dev.Run(recs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Die hold = tR + tDMA + tECC + tRST ≥ response (tR + tDMA + tECC).
+	if st.DieBusyTotal <= sim.Time(st.MeanRead())*sim.Microsecond-sim.Microsecond {
+		t.Errorf("die busy %v should cover the full plan including the RESET tail (read %v µs)",
+			st.DieBusyTotal, st.MeanRead())
+	}
+}

@@ -1,0 +1,767 @@
+package ssd
+
+import (
+	"fmt"
+
+	"readretry/internal/chip"
+	"readretry/internal/core"
+	"readretry/internal/ftl"
+	"readretry/internal/nand"
+	"readretry/internal/rpt"
+	"readretry/internal/sim"
+	"readretry/internal/trace"
+	"readretry/internal/vth"
+	"readretry/internal/workload"
+)
+
+// SSD is one simulated device instance. Build with New, feed with Run.
+type SSD struct {
+	cfg Config
+	eng *sim.Engine
+
+	chips    []*chip.Chip // one per die
+	dies     []*die
+	nextSeq  uint64
+	channels []*resourceQueue // DMA bus per channel
+	eccs     []*resourceQueue // decoder per channel
+	flash    *ftl.FTL
+	table    *rpt.Table
+	pso      *core.PSO
+
+	stats Stats
+}
+
+// New builds an SSD, preconditioning every block to the configured
+// (PEC, retention) state and profiling the RPT when the scheme needs it.
+func New(cfg Config) (*SSD, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	model := vth.NewModel(cfg.VthParams, cfg.Seed)
+	s := &SSD{cfg: cfg, eng: &sim.Engine{}}
+	for d := 0; d < cfg.Dies(); d++ {
+		c, err := chip.New(cfg.Geometry, cfg.Timing, model, d)
+		if err != nil {
+			return nil, err
+		}
+		c.SetCondition(cfg.PEC, cfg.RetentionMonths)
+		s.chips = append(s.chips, c)
+		s.dies = append(s.dies, &die{id: d, channel: d / cfg.DiesPerChannel})
+	}
+	for ch := 0; ch < cfg.Channels; ch++ {
+		s.channels = append(s.channels, &resourceQueue{eng: s.eng})
+		s.eccs = append(s.eccs, &resourceQueue{eng: s.eng})
+	}
+	f, err := ftl.New(ftl.Config{
+		Dies:              cfg.Dies(),
+		PlanesPerDie:      cfg.Geometry.PlanesPerDie,
+		BlocksPerPlane:    cfg.Geometry.BlocksPerPlane,
+		PagesPerBlock:     cfg.Geometry.PagesPerBlock,
+		GCThresholdBlocks: cfg.GCThresholdBlocks,
+	})
+	if err != nil {
+		return nil, err
+	}
+	s.flash = f
+	if cfg.Scheme.Adaptive() {
+		table, err := rpt.Profile(model, cfg.RPT)
+		if err != nil {
+			return nil, err
+		}
+		s.table = table
+	}
+	if cfg.UsePSO {
+		s.pso = core.NewPSO()
+	}
+	for _, d := range s.dies {
+		d.gcActive = make([]bool, cfg.Geometry.PlanesPerDie)
+	}
+	for lpn := int64(0); lpn < cfg.PreconditionPages; lpn++ {
+		if _, err := s.flash.Precondition(lpn); err != nil {
+			return nil, fmt.Errorf("ssd: preconditioning to %d pages: %w",
+				cfg.PreconditionPages, err)
+		}
+	}
+	return s, nil
+}
+
+// Config returns the device configuration.
+func (s *SSD) Config() Config { return s.cfg }
+
+// RPT returns the profiled table (nil for non-adaptive schemes).
+func (s *SSD) RPT() *rpt.Table { return s.table }
+
+// Run replays the request stream to completion and returns the statistics.
+func (s *SSD) Run(recs []trace.Record) (*Stats, error) {
+	for i := range recs {
+		r := &recs[i]
+		req := &request{
+			arrival: r.Arrival,
+			write:   r.Write,
+			lpn:     r.Offset / workload.PageSize,
+			pages:   (r.Size + workload.PageSize - 1) / workload.PageSize,
+		}
+		if req.pages < 1 {
+			req.pages = 1
+		}
+		s.eng.Schedule(r.Arrival, func(now sim.Time) { s.submit(req, now) })
+	}
+	s.eng.Run()
+	if n := s.pendingTxns(); n != 0 {
+		return nil, fmt.Errorf("ssd: %d transactions stranded after run", n)
+	}
+	s.stats.SimEnd = s.eng.Now()
+	s.stats.Dies = s.cfg.Dies()
+	s.stats.Channels = s.cfg.Channels
+	for _, ch := range s.channels {
+		s.stats.ChannelBusyTotal += ch.busyTime
+	}
+	for _, e := range s.eccs {
+		s.stats.ECCBusyTotal += e.busyTime
+	}
+	if s.pso != nil {
+		s.stats.PSOHits, s.stats.PSOMisses = s.pso.Stats()
+	}
+	host, gc := s.flash.WriteCounts()
+	s.stats.HostPageWrites, s.stats.GCPageWrites = host, gc
+	return &s.stats, nil
+}
+
+func (s *SSD) pendingTxns() int {
+	n := 0
+	for _, d := range s.dies {
+		n += len(d.readQ) + len(d.writeQ) + len(d.gcQ)
+		if d.busy {
+			n++
+		}
+	}
+	return n
+}
+
+// request tracks one host request across its page transactions.
+type request struct {
+	arrival   sim.Time
+	write     bool
+	lpn       int64
+	pages     int
+	remaining int
+}
+
+// txn is one page-granularity flash transaction.
+type txn struct {
+	kind txnKind
+	lpn  int64
+	ppn  ftl.PPN
+	req  *request // nil for GC traffic
+	// seq is the global arrival order, used for FIFO scheduling when read
+	// priority is disabled.
+	seq uint64
+	// enqueuedAt stamps queue entry for the queueing-delay statistics.
+	enqueuedAt sim.Time
+	// gcPlane identifies the collection job for gcMove/gcErase.
+	gcPlane int
+	gcBlock int
+}
+
+type txnKind uint8
+
+const (
+	txnRead txnKind = iota
+	txnWrite
+	txnGCMove
+	txnGCErase
+)
+
+// die is the per-die scheduler state.
+type die struct {
+	id      int
+	channel int
+	busy    bool
+	// busySince stamps the current busy period for utilization stats.
+	busySince sim.Time
+	// lastPreLevel is the tPRE register level currently programmed on the
+	// chip (for the reduced-regular-read extension's SET FEATURE
+	// accounting).
+	lastPreLevel int
+	readQ        []*txn
+	writeQ       []*txn
+	gcQ          []*txn
+	// suspended holds a program/erase op interrupted by reads.
+	suspended *suspendedOp
+	// suspendable is non-nil while the current txn sits in an
+	// interruptible die phase (program or erase).
+	suspendable *suspendPoint
+	gcActive    []bool  // per plane: a collection job is in flight
+	gcMovesLeft []gcJob // outstanding relocation counts per collection job
+}
+
+type suspendPoint struct {
+	handle    *sim.Handle
+	endsAt    sim.Time
+	onResume  func(remaining sim.Time)
+	completed bool
+}
+
+type suspendedOp struct {
+	remaining sim.Time
+	resume    func(remaining sim.Time)
+}
+
+// setBusy and setIdle guard the die's busy flag while accumulating busy
+// time for the utilization statistics.
+func (s *SSD) setBusy(d *die, now sim.Time) {
+	if !d.busy {
+		d.busy = true
+		d.busySince = now
+	}
+}
+
+func (s *SSD) setIdle(d *die, now sim.Time) {
+	if d.busy {
+		d.busy = false
+		s.stats.DieBusyTotal += now - d.busySince
+	}
+}
+
+// submit splits a host request into page transactions and enqueues them.
+func (s *SSD) submit(req *request, now sim.Time) {
+	req.remaining = req.pages
+	s.stats.Submitted++
+	for i := 0; i < req.pages; i++ {
+		lpn := req.lpn + int64(i)
+		t := &txn{lpn: lpn, req: req}
+		if req.write {
+			t.kind = txnWrite
+		} else {
+			t.kind = txnRead
+			if _, ok := s.flash.Lookup(lpn); !ok {
+				// Pre-existing (cold) data: map it without simulated cost.
+				if _, err := s.flash.Precondition(lpn); err != nil {
+					panic(fmt.Sprintf("ssd: precondition failed: %v", err))
+				}
+			}
+		}
+		dieIdx, _ := s.flash.StripeOf(lpn)
+		s.enqueue(s.dies[dieIdx], t, now)
+	}
+}
+
+// enqueue adds the transaction to its die queue and pokes the scheduler.
+func (s *SSD) enqueue(d *die, t *txn, now sim.Time) {
+	t.seq = s.nextSeq
+	s.nextSeq++
+	t.enqueuedAt = now
+	switch t.kind {
+	case txnRead:
+		d.readQ = append(d.readQ, t)
+		// Out-of-order read priority: an arriving read may suspend an
+		// in-flight program/erase (§7.2's baseline features).
+		if !s.cfg.DisableSuspension && d.busy && d.suspendable != nil {
+			s.suspendCurrent(d, now)
+		}
+	case txnWrite:
+		d.writeQ = append(d.writeQ, t)
+	default:
+		d.gcQ = append(d.gcQ, t)
+	}
+	s.dispatch(d, now)
+}
+
+// suspendCurrent interrupts the die's current program/erase.
+func (s *SSD) suspendCurrent(d *die, now sim.Time) {
+	sp := d.suspendable
+	if sp == nil || sp.completed || d.suspended != nil {
+		return
+	}
+	if !sp.handle.Cancel() {
+		return // completion already fired this instant
+	}
+	remaining := sp.endsAt - now
+	if remaining < 0 {
+		remaining = 0
+	}
+	d.suspended = &suspendedOp{remaining: remaining, resume: sp.onResume}
+	d.suspendable = nil
+	s.setIdle(d, now)
+	s.stats.Suspensions++
+	s.dispatch(d, now)
+}
+
+// dispatch starts the next transaction when the die is idle. Priority:
+// host reads, then the suspended op's resumption, then host writes, then
+// garbage collection (which preempts writes when a plane is urgent).
+func (s *SSD) dispatch(d *die, now sim.Time) {
+	if d.busy {
+		return
+	}
+	if len(d.readQ) > 0 && !s.cfg.DisableReadPrio {
+		t := d.readQ[0]
+		d.readQ = d.readQ[1:]
+		s.startRead(d, t, now)
+		return
+	}
+	if d.suspended != nil {
+		op := d.suspended
+		d.suspended = nil
+		s.setBusy(d, now)
+		op.resume(op.remaining)
+		return
+	}
+	if s.gcUrgent(d) && len(d.gcQ) > 0 {
+		t := d.gcQ[0]
+		d.gcQ = d.gcQ[1:]
+		s.startGC(d, t, now)
+		return
+	}
+	// FIFO order across reads and writes when read priority is disabled:
+	// serve whichever queued host transaction arrived first.
+	if s.cfg.DisableReadPrio && len(d.readQ) > 0 &&
+		(len(d.writeQ) == 0 || d.readQ[0].seq < d.writeQ[0].seq) {
+		t := d.readQ[0]
+		d.readQ = d.readQ[1:]
+		s.startRead(d, t, now)
+		return
+	}
+	if len(d.writeQ) > 0 {
+		t := d.writeQ[0]
+		d.writeQ = d.writeQ[1:]
+		s.startWrite(d, t, now)
+		return
+	}
+	if s.cfg.DisableReadPrio && len(d.readQ) > 0 {
+		t := d.readQ[0]
+		d.readQ = d.readQ[1:]
+		s.startRead(d, t, now)
+		return
+	}
+	if len(d.gcQ) > 0 {
+		t := d.gcQ[0]
+		d.gcQ = d.gcQ[1:]
+		s.startGC(d, t, now)
+		return
+	}
+}
+
+// gcUrgent reports whether any plane of the die is close to exhaustion,
+// in which case collection outranks host writes.
+func (s *SSD) gcUrgent(d *die) bool {
+	for pl := 0; pl < s.cfg.Geometry.PlanesPerDie; pl++ {
+		if s.flash.FreeBlocks(d.id, pl) <= 1 {
+			return true
+		}
+	}
+	return false
+}
+
+// chipAddr converts an FTL location to the die-chip's address space.
+func chipAddr(p ftl.PPN) nand.Address {
+	return nand.Address{Die: 0, Plane: p.Plane, Block: p.Block, Page: p.Page}
+}
+
+// readOutcome resolves the retry behaviour of one physical page read under
+// the configured scheme.
+type readOutcome struct {
+	nrr      int
+	timings  core.StepTimings
+	fallback bool // AR² worst case: reduced-timing retry exhausted the ladder
+	fbNRR    int  // retry steps of the default-timing re-read
+	// preLevel is the register level the initial sensing runs at when the
+	// reduced-regular-read extension is active (0 = default timing).
+	preLevel int
+}
+
+func (s *SSD) resolveRead(c *chip.Chip, addr nand.Address) readOutcome {
+	var out readOutcome
+	tm := s.cfg.Timing
+	pt := s.cfg.Geometry.PageType(addr.Page)
+	eccLat := s.cfg.ECC.DecodeLatency
+	out.timings = core.StepTimings{
+		SenseDefault: tm.TR(pt, nand.Reduction{}),
+		SenseReduced: tm.TR(pt, nand.Reduction{}),
+		DMA:          tm.TDMA,
+		ECC:          eccLat,
+		Set:          tm.TSet,
+		Reset:        tm.TRst,
+	}
+
+	red := nand.Reduction{}
+	if s.cfg.Scheme.Adaptive() {
+		st := c.Block(addr.BlockOf())
+		red = s.table.Reduction(st.PEC, st.RetentionMonths)
+		out.timings.SenseReduced = tm.TR(pt, red)
+		if s.cfg.ReducedRegularReads {
+			// §8 extension: the RPT-safe reduction also shortens the
+			// initial sensing of every read. The RPT margin bounds the
+			// floor errors of clean reads exactly as it bounds the final
+			// retry step's, so N_RR is unchanged.
+			out.timings.SenseDefault = out.timings.SenseReduced
+			out.preLevel = nand.FractionLevel(red.Pre)
+		}
+	}
+
+	var reg nand.FeatureRegister
+	reg.Set(nand.FractionLevel(red.Pre), 0, 0)
+	c.SetFeature(reg)
+	res := c.ReadRetry(addr, s.cfg.TempC)
+	c.ResetFeature()
+
+	out.nrr = res.RetrySteps
+	if res.Failed {
+		// §6.2's worst case: re-read with default timing.
+		out.fallback = true
+		fb := c.ReadRetry(addr, s.cfg.TempC) // default register now restored
+		out.fbNRR = fb.RetrySteps
+	}
+	switch {
+	case res.Failed:
+	case s.cfg.UseDriftPredictor && out.nrr > 0:
+		// §8 extension: start the ladder near the model-predicted V_OPT
+		// position instead of walking from the default V_REF (the
+		// Sentinel-style approach [56], driven by the error model).
+		st := c.Block(addr.BlockOf())
+		cond := vth.Condition{PEC: st.PEC, RetentionMonths: st.RetentionMonths, TempC: s.cfg.TempC}
+		predicted := int(c.Model().Drift(cond) + 0.5)
+		dist := out.nrr - predicted
+		if dist < 0 {
+			dist = -dist
+		}
+		if eff := dist + 1; eff < out.nrr {
+			out.nrr = eff
+		}
+		s.stats.PredictorReads++
+	case s.pso != nil:
+		g := core.Group(c.Index(), 0, s.cfg.PEC, s.effectiveRetention(c, addr))
+		out.nrr = s.pso.AdjustedSteps(g, out.nrr)
+	}
+	return out
+}
+
+func (s *SSD) effectiveRetention(c *chip.Chip, addr nand.Address) float64 {
+	return c.Block(addr.BlockOf()).RetentionMonths
+}
+
+// startRead executes a read transaction: resolve the retry count, build the
+// controller's plan, and run it against the die/channel/ECC resources.
+func (s *SSD) startRead(d *die, t *txn, now sim.Time) {
+	s.setBusy(d, now)
+	if t.req != nil {
+		s.stats.ReadQueueDelay.Add((now - t.enqueuedAt).Microseconds())
+	}
+	serviceStart := now
+	ppn, ok := s.flash.Lookup(t.lpn)
+	if !ok {
+		panic("ssd: read of unmapped LPN") // submit preconditions all reads
+	}
+	t.ppn = ppn
+	c := s.chips[d.id]
+	addr := chipAddr(ppn)
+	oc := s.resolveRead(c, addr)
+	s.stats.recordRetrySteps(oc.nrr)
+	if oc.nrr > 0 {
+		s.stats.RetriedReads++
+	}
+	s.stats.PageReads++
+
+	start := now
+	if s.cfg.ReducedRegularReads && oc.preLevel != d.lastPreLevel {
+		// Reprogram the chip's read timing for the new block condition; the
+		// register then stays put for subsequent reads at the same level.
+		start += s.cfg.Timing.TSet
+		d.lastPreLevel = oc.preLevel
+		s.stats.RegReadSetFeatures++
+	}
+	now = start
+
+	plan := core.BuildPlan(s.cfg.Scheme, oc.nrr, oc.timings, s.cfg.CoreOpts)
+	finish := func(sim.Time) {
+		s.setIdle(d, s.eng.Now())
+		s.dispatch(d, s.eng.Now())
+	}
+	respond := func(done sim.Time) {
+		if t.req != nil {
+			s.stats.ReadService.Add((done - serviceStart).Microseconds())
+		}
+		s.completePage(t, done)
+	}
+	if oc.fallback {
+		// Chain the default-timing re-read after the failed reduced pass.
+		s.stats.AR2Fallbacks++
+		firstPlan := plan
+		s.runPlan(d, firstPlan, now, func(sim.Time) {}, func(rel sim.Time) {
+			second := core.BuildPlan(core.Baseline, oc.fbNRR, oc.timings, s.cfg.CoreOpts)
+			s.runPlan(d, second, rel, respond, finish)
+		})
+		return
+	}
+	s.runPlan(d, plan, now, respond, finish)
+}
+
+// runPlan executes a controller plan starting at start. onResponse fires at
+// the host-visible completion, onRelease when the die is free again.
+func (s *SSD) runPlan(d *die, plan core.Plan, start sim.Time, onResponse, onRelease func(sim.Time)) {
+	n := len(plan.Ops)
+	waiting := make([]int, n)
+	dependents := make([][]int, n)
+	for i, op := range plan.Ops {
+		waiting[i] = len(op.Deps)
+		for _, dep := range op.Deps {
+			dependents[dep] = append(dependents[dep], i)
+		}
+	}
+	var opDone func(i int, t sim.Time)
+	startOp := func(i int, at sim.Time) {
+		op := plan.Ops[i]
+		switch op.Res {
+		case core.ResChannel:
+			s.channels[d.channel].acquire(at, op.Dur, func(end sim.Time) { opDone(i, end) })
+		case core.ResECC:
+			s.eccs[d.channel].acquire(at, op.Dur, func(end sim.Time) { opDone(i, end) })
+		default: // die or controller-side: the die is owned by this plan
+			s.eng.Schedule(at+op.Dur, func(t sim.Time) { opDone(i, t) })
+		}
+	}
+	opDone = func(i int, t sim.Time) {
+		if i == plan.ResponseOp && onResponse != nil {
+			onResponse(t)
+		}
+		if i == plan.ReleaseOp && onRelease != nil {
+			onRelease(t)
+		}
+		for _, dep := range dependents[i] {
+			waiting[dep]--
+			if waiting[dep] == 0 {
+				startOp(dep, t)
+			}
+		}
+	}
+	for i := range plan.Ops {
+		if waiting[i] == 0 {
+			startOp(i, start)
+		}
+	}
+}
+
+// startWrite executes a host write: transfer the page over the channel,
+// then program the die (suspendable by arriving reads).
+func (s *SSD) startWrite(d *die, t *txn, now sim.Time) {
+	s.setBusy(d, now)
+	ppn, _, err := s.flash.AllocateWrite(t.lpn, false)
+	if err != nil {
+		panic(fmt.Sprintf("ssd: write allocation failed: %v", err))
+	}
+	t.ppn = ppn
+	s.stats.PageWrites++
+	s.channels[d.channel].acquire(now, s.cfg.Timing.TDMA, func(end sim.Time) {
+		s.programPhase(d, chipAddr(ppn), end, func(done sim.Time) {
+			s.completePage(t, done)
+			s.afterWrite(d, ppn, done)
+		})
+	})
+}
+
+// programPhase runs the suspendable tPROG portion on the die.
+func (s *SSD) programPhase(d *die, addr nand.Address, start sim.Time, onDone func(sim.Time)) {
+	c := s.chips[d.id]
+	dur := c.Program(addr) // resets the block's retention age
+	s.dieBusyPhase(d, start, dur, onDone)
+}
+
+// dieBusyPhase occupies the die for dur, allowing suspension by reads.
+func (s *SSD) dieBusyPhase(d *die, start sim.Time, dur sim.Time, onDone func(sim.Time)) {
+	var run func(at, remaining sim.Time)
+	run = func(at, remaining sim.Time) {
+		end := at + remaining
+		sp := &suspendPoint{endsAt: end}
+		sp.onResume = func(left sim.Time) { run(s.eng.Now(), left) }
+		sp.handle = s.eng.Schedule(end, func(t sim.Time) {
+			sp.completed = true
+			d.suspendable = nil
+			onDone(t)
+		})
+		d.suspendable = sp
+		// Reads that arrived while this transaction was in its transfer
+		// phase suspend it the moment the die phase begins.
+		if !s.cfg.DisableSuspension && len(d.readQ) > 0 {
+			s.suspendCurrent(d, s.eng.Now())
+		}
+	}
+	run(start, dur)
+}
+
+// afterWrite finishes a write transaction: free the die and kick GC if the
+// plane dropped below the threshold.
+func (s *SSD) afterWrite(d *die, ppn ftl.PPN, now sim.Time) {
+	s.setIdle(d, now)
+	s.maybeStartGC(d, ppn.Plane, now)
+	s.dispatch(d, now)
+}
+
+// maybeStartGC launches one collection job for the plane when needed.
+func (s *SSD) maybeStartGC(d *die, plane int, now sim.Time) {
+	if d.gcActive[plane] || !s.flash.NeedGC(d.id, plane) {
+		return
+	}
+	block, valids, ok := s.flash.Victim(d.id, plane)
+	if !ok {
+		return
+	}
+	d.gcActive[plane] = true
+	s.stats.GCJobs++
+	if len(valids) == 0 {
+		er := &txn{kind: txnGCErase, gcPlane: plane, gcBlock: block}
+		s.enqueue(d, er, now)
+		return
+	}
+	// The erase is enqueued by the last completed move (see finishGCMove).
+	d.gcMovesLeft = append(d.gcMovesLeft, gcJob{plane: plane, block: block, moves: len(valids)})
+	for _, lpn := range valids {
+		s.enqueue(d, &txn{kind: txnGCMove, lpn: lpn, gcPlane: plane, gcBlock: block}, now)
+	}
+}
+
+type gcJob struct {
+	plane, block, moves int
+}
+
+// startGC executes a GC transaction.
+func (s *SSD) startGC(d *die, t *txn, now sim.Time) {
+	s.setBusy(d, now)
+	switch t.kind {
+	case txnGCMove:
+		s.runGCMove(d, t, now)
+	case txnGCErase:
+		s.runGCErase(d, t, now)
+	default:
+		panic("ssd: bad gc txn")
+	}
+}
+
+// runGCMove relocates one valid page: read (with retry, through the active
+// scheme's controller), transfer back, program into the active block.
+func (s *SSD) runGCMove(d *die, t *txn, now sim.Time) {
+	ppn, ok := s.flash.Lookup(t.lpn)
+	if !ok {
+		// The page was overwritten by the host after victim selection; the
+		// move is moot.
+		s.setIdle(d, now)
+		s.finishGCMove(d, t, now)
+		s.dispatch(d, now)
+		return
+	}
+	c := s.chips[d.id]
+	addr := chipAddr(ppn)
+	oc := s.resolveRead(c, addr)
+	s.stats.GCPageReads++
+	plan := core.BuildPlan(s.cfg.Scheme, oc.nrr, oc.timings, s.cfg.CoreOpts)
+	s.runPlan(d, plan, now, nil, func(rel sim.Time) {
+		// Write the page back out: channel transfer + program.
+		newPPN, _, err := s.flash.AllocateWrite(t.lpn, true)
+		if err != nil {
+			panic(fmt.Sprintf("ssd: gc relocation failed: %v", err))
+		}
+		s.channels[d.channel].acquire(rel, s.cfg.Timing.TDMA, func(end sim.Time) {
+			s.programPhase(d, chipAddr(newPPN), end, func(done sim.Time) {
+				s.setIdle(d, done)
+				s.finishGCMove(d, t, done)
+				s.dispatch(d, done)
+			})
+		})
+	})
+}
+
+// finishGCMove decrements the job's outstanding moves and queues the erase
+// when the victim is empty.
+func (s *SSD) finishGCMove(d *die, t *txn, now sim.Time) {
+	for i := range d.gcMovesLeft {
+		job := &d.gcMovesLeft[i]
+		if job.plane == t.gcPlane && job.block == t.gcBlock {
+			job.moves--
+			if job.moves == 0 {
+				d.gcMovesLeft = append(d.gcMovesLeft[:i], d.gcMovesLeft[i+1:]...)
+				er := &txn{kind: txnGCErase, gcPlane: t.gcPlane, gcBlock: t.gcBlock}
+				s.enqueue(d, er, now)
+			}
+			return
+		}
+	}
+}
+
+// runGCErase erases the collected block (suspendable) and returns it to
+// the free pool.
+func (s *SSD) runGCErase(d *die, t *txn, now sim.Time) {
+	c := s.chips[d.id]
+	dur := c.Erase(nand.BlockID{Die: 0, Plane: t.gcPlane, Block: t.gcBlock})
+	s.stats.Erases++
+	s.dieBusyPhase(d, now, dur, func(done sim.Time) {
+		s.flash.OnErase(d.id, t.gcPlane, t.gcBlock)
+		d.gcActive[t.gcPlane] = false
+		s.setIdle(d, done)
+		// The plane may still be below threshold: chain another job.
+		s.maybeStartGC(d, t.gcPlane, done)
+		s.dispatch(d, done)
+	})
+}
+
+// completePage accounts a finished host page transaction.
+func (s *SSD) completePage(t *txn, done sim.Time) {
+	if t.req == nil {
+		return
+	}
+	t.req.remaining--
+	if t.req.remaining > 0 {
+		return
+	}
+	resp := (done - t.req.arrival).Microseconds()
+	s.stats.All.Add(resp)
+	if t.req.write {
+		s.stats.Writes.Add(resp)
+	} else {
+		s.stats.Reads.Add(resp)
+		s.stats.readSamples = append(s.stats.readSamples, resp)
+	}
+	s.stats.Completed++
+}
+
+// resourceQueue is a FIFO-arbitrated unit (channel bus or ECC engine).
+type resourceQueue struct {
+	eng      *sim.Engine
+	busy     bool
+	freeAt   sim.Time
+	queue    []pendingAcquire
+	busyTime sim.Time
+}
+
+type pendingAcquire struct {
+	dur  sim.Time
+	done func(end sim.Time)
+}
+
+// acquire requests the resource for dur starting no earlier than at; done
+// fires when the occupancy ends.
+func (r *resourceQueue) acquire(at sim.Time, dur sim.Time, done func(end sim.Time)) {
+	if r.busy {
+		r.queue = append(r.queue, pendingAcquire{dur: dur, done: done})
+		return
+	}
+	start := at
+	if now := r.eng.Now(); start < now {
+		start = now
+	}
+	r.busy = true
+	r.busyTime += dur
+	end := start + dur
+	r.eng.Schedule(end, func(t sim.Time) {
+		r.release(t)
+		done(t)
+	})
+}
+
+func (r *resourceQueue) release(now sim.Time) {
+	r.busy = false
+	if len(r.queue) == 0 {
+		return
+	}
+	next := r.queue[0]
+	r.queue = r.queue[1:]
+	r.acquire(now, next.dur, next.done)
+}

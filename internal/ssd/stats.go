@@ -1,0 +1,179 @@
+package ssd
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"readretry/internal/mathx"
+	"readretry/internal/sim"
+)
+
+// Stats aggregates one simulation run. Response times are in microseconds.
+type Stats struct {
+	Submitted int64
+	Completed int64
+
+	// Reads/Writes/All summarize host-request response times (µs).
+	Reads  mathx.Running
+	Writes mathx.Running
+	All    mathx.Running
+
+	// RetrySteps summarizes N_RR across host and GC page reads;
+	// RetryHistogram holds the full distribution (index = step count).
+	RetrySteps     mathx.Running
+	RetryHistogram []int64
+	PageReads      int64
+	PageWrites     int64
+	RetriedReads   int64
+
+	// ReadQueueDelay and ReadService split a host page read's response
+	// into time waiting for the die and time being served (µs) — the
+	// breakdown that shows where PR²/AR² wins come from under load.
+	ReadQueueDelay mathx.Running
+	ReadService    mathx.Running
+
+	GCJobs      int64
+	GCPageReads int64
+	Erases      int64
+	Suspensions int64
+
+	// AR2Fallbacks counts reduced-timing retry operations that exhausted
+	// the ladder and re-ran with default timing (§6.2's worst case; zero
+	// with the default RPT margin).
+	AR2Fallbacks int64
+
+	PSOHits, PSOMisses int
+
+	HostPageWrites, GCPageWrites int64
+
+	// PredictorReads counts retried reads whose ladder start was chosen by
+	// the drift predictor (§8 extension); RegReadSetFeatures counts the
+	// SET FEATURE commands the reduced-regular-read extension issued.
+	PredictorReads     int64
+	RegReadSetFeatures int64
+
+	// Resource occupancy for utilization statistics.
+	DieBusyTotal     sim.Time
+	ChannelBusyTotal sim.Time
+	ECCBusyTotal     sim.Time
+	Dies             int
+	Channels         int
+
+	SimEnd sim.Time
+
+	readSamples []float64
+	sorted      bool
+}
+
+// DieUtilization returns the average fraction of time a die was busy.
+func (st *Stats) DieUtilization() float64 {
+	if st.SimEnd == 0 || st.Dies == 0 {
+		return 0
+	}
+	return float64(st.DieBusyTotal) / float64(st.SimEnd) / float64(st.Dies)
+}
+
+// ChannelUtilization returns the average fraction of time a channel bus was
+// moving data.
+func (st *Stats) ChannelUtilization() float64 {
+	if st.SimEnd == 0 || st.Channels == 0 {
+		return 0
+	}
+	return float64(st.ChannelBusyTotal) / float64(st.SimEnd) / float64(st.Channels)
+}
+
+// MeanRead returns the mean read response time in µs.
+func (st *Stats) MeanRead() float64 { return st.Reads.Mean() }
+
+// MeanWrite returns the mean write response time in µs.
+func (st *Stats) MeanWrite() float64 { return st.Writes.Mean() }
+
+// MeanAll returns the mean response time across all requests in µs.
+func (st *Stats) MeanAll() float64 { return st.All.Mean() }
+
+// ReadPercentile returns the p-th percentile read response time in µs.
+func (st *Stats) ReadPercentile(p float64) float64 {
+	if !st.sorted {
+		sort.Float64s(st.readSamples)
+		st.sorted = true
+	}
+	return mathx.PercentileSorted(st.readSamples, p)
+}
+
+// WriteAmplification returns total/host page writes.
+func (st *Stats) WriteAmplification() float64 {
+	if st.HostPageWrites == 0 {
+		return 1
+	}
+	return float64(st.HostPageWrites+st.GCPageWrites) / float64(st.HostPageWrites)
+}
+
+// MeanRetrySteps returns the average N_RR over all page reads.
+func (st *Stats) MeanRetrySteps() float64 { return st.RetrySteps.Mean() }
+
+// recordRetrySteps folds one read's step count into the distribution.
+func (st *Stats) recordRetrySteps(n int) {
+	st.RetrySteps.Add(float64(n))
+	for len(st.RetryHistogram) <= n {
+		st.RetryHistogram = append(st.RetryHistogram, 0)
+	}
+	st.RetryHistogram[n]++
+}
+
+// RetryStepPercentile returns the p-th percentile of the N_RR distribution.
+func (st *Stats) RetryStepPercentile(p float64) int {
+	total := int64(0)
+	for _, c := range st.RetryHistogram {
+		total += c
+	}
+	if total == 0 {
+		return 0
+	}
+	target := int64(p / 100 * float64(total))
+	cum := int64(0)
+	for n, c := range st.RetryHistogram {
+		cum += c
+		if cum > target {
+			return n
+		}
+	}
+	return len(st.RetryHistogram) - 1
+}
+
+// String summarizes the run.
+func (st *Stats) String() string {
+	return fmt.Sprintf(
+		"reqs=%d mean=%.0fus read=%.0fus write=%.0fus p99r=%.0fus nrr=%.1f gc=%d susp=%d",
+		st.Completed, st.MeanAll(), st.MeanRead(), st.MeanWrite(),
+		st.ReadPercentile(99), st.MeanRetrySteps(), st.GCJobs, st.Suspensions)
+}
+
+// WriteReport prints the full statistics in the layout cmd/ssdsim shows.
+func (st *Stats) WriteReport(w io.Writer) {
+	fmt.Fprintf(w, "requests        : %d completed of %d submitted\n", st.Completed, st.Submitted)
+	fmt.Fprintf(w, "response time   : mean %.0f µs (reads %.0f µs, writes %.0f µs)\n",
+		st.MeanAll(), st.MeanRead(), st.MeanWrite())
+	fmt.Fprintf(w, "read p50/p99    : %.0f / %.0f µs\n", st.ReadPercentile(50), st.ReadPercentile(99))
+	fmt.Fprintf(w, "read breakdown  : queue %.0f µs + service %.0f µs\n",
+		st.ReadQueueDelay.Mean(), st.ReadService.Mean())
+	fmt.Fprintf(w, "retry steps     : mean %.2f over %d page reads (%d retried)\n",
+		st.MeanRetrySteps(), st.PageReads, st.RetriedReads)
+	fmt.Fprintf(w, "background      : %d GC jobs, %d erases, %d suspensions, WA %.2f\n",
+		st.GCJobs, st.Erases, st.Suspensions, st.WriteAmplification())
+	fmt.Fprintf(w, "utilization     : die %.1f%%, channel %.1f%%\n",
+		st.DieUtilization()*100, st.ChannelUtilization()*100)
+	if st.PSOHits+st.PSOMisses > 0 {
+		fmt.Fprintf(w, "pso cache       : %d hits, %d misses\n", st.PSOHits, st.PSOMisses)
+	}
+	if st.PredictorReads > 0 {
+		fmt.Fprintf(w, "drift predictor : %d guided reads\n", st.PredictorReads)
+	}
+	if st.RegReadSetFeatures > 0 {
+		fmt.Fprintf(w, "regular reads   : %d SET FEATURE reprograms\n", st.RegReadSetFeatures)
+	}
+	if st.AR2Fallbacks > 0 {
+		fmt.Fprintf(w, "AR2 fallbacks   : %d\n", st.AR2Fallbacks)
+	}
+	fmt.Fprintf(w, "simulated time  : %v\n", st.SimEnd)
+}

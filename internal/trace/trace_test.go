@@ -1,0 +1,119 @@
+package trace
+
+import (
+	"bytes"
+	"io"
+	"strings"
+	"testing"
+
+	"readretry/internal/sim"
+)
+
+func TestRoundTrip(t *testing.T) {
+	recs := []Record{
+		{Arrival: 0, Device: 0, Offset: 0, Size: 16384, Write: false},
+		{Arrival: 150 * sim.Microsecond, Device: 1, Offset: 65536, Size: 4096, Write: true},
+		{Arrival: 2 * sim.Second, Device: 0, Offset: 1 << 30, Size: 131072, Write: false},
+	}
+	var buf bytes.Buffer
+	w := NewWriter(&buf, "test_0")
+	for _, r := range recs {
+		if err := w.Write(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	got, err := NewReader(&buf).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(recs) {
+		t.Fatalf("read %d records, want %d", len(got), len(recs))
+	}
+	for i := range recs {
+		if got[i] != recs[i] {
+			t.Errorf("record %d: %+v, want %+v", i, got[i], recs[i])
+		}
+	}
+}
+
+func TestReaderMSRFormat(t *testing.T) {
+	// A line in the documented MSR-Cambridge shape.
+	in := "128166372003061629,hm,0,Read,383496192,32768,58\n" +
+		"128166372016853917,hm,0,Write,2822144,4096,153\n"
+	recs, err := NewReader(strings.NewReader(in)).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 2 {
+		t.Fatalf("got %d records", len(recs))
+	}
+	if recs[0].Write || !recs[1].Write {
+		t.Error("op parsing wrong")
+	}
+	if recs[0].Offset != 383496192 || recs[0].Size != 32768 {
+		t.Errorf("record 0: %+v", recs[0])
+	}
+	// Timestamps rebase to the first record.
+	if recs[0].Arrival != 0 {
+		t.Errorf("first arrival = %v, want 0", recs[0].Arrival)
+	}
+	wantGap := sim.Time((128166372016853917 - 128166372003061629) * 100)
+	if recs[1].Arrival != wantGap {
+		t.Errorf("second arrival = %v, want %v", recs[1].Arrival, wantGap)
+	}
+}
+
+func TestReaderSkipsBlankLines(t *testing.T) {
+	in := "\n100,h,0,Read,0,4096,0\n\n\n200,h,0,Write,4096,4096,0\n"
+	recs, err := NewReader(strings.NewReader(in)).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 2 {
+		t.Errorf("got %d records, want 2", len(recs))
+	}
+}
+
+func TestReaderErrors(t *testing.T) {
+	cases := map[string]string{
+		"too few fields":  "1,h,0,Read\n",
+		"bad timestamp":   "x,h,0,Read,0,4096,0\n",
+		"bad disk number": "1,h,x,Read,0,4096,0\n",
+		"bad op":          "1,h,0,Fetch,0,4096,0\n",
+		"bad offset":      "1,h,0,Read,x,4096,0\n",
+		"bad size":        "1,h,0,Read,0,x,0\n",
+	}
+	for name, in := range cases {
+		if _, err := NewReader(strings.NewReader(in)).ReadAll(); err == nil {
+			t.Errorf("%s: expected error", name)
+		}
+	}
+}
+
+func TestReaderEOF(t *testing.T) {
+	r := NewReader(strings.NewReader(""))
+	if _, err := r.Read(); err != io.EOF {
+		t.Errorf("empty input should give io.EOF, got %v", err)
+	}
+}
+
+func TestShortOpNames(t *testing.T) {
+	in := "1,h,0,R,0,4096,0\n1,h,0,W,0,4096,0\n"
+	recs, err := NewReader(strings.NewReader(in)).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if recs[0].Write || !recs[1].Write {
+		t.Error("short op names parsed wrong")
+	}
+}
+
+func TestRecordString(t *testing.T) {
+	r := Record{Offset: 4096, Size: 8192, Write: true, Arrival: sim.Microsecond}
+	if got := r.String(); !strings.Contains(got, "W ") || !strings.Contains(got, "off=4096") {
+		t.Errorf("String() = %q", got)
+	}
+}

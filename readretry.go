@@ -1,0 +1,242 @@
+// Package readretry is a from-scratch reproduction of "Reducing Solid-State
+// Drive Read Latency by Optimizing Read-Retry" (Park et al., ASPLOS 2021).
+//
+// The paper proposes two SSD-controller techniques that shorten read-retry
+// operations without reducing how many retry steps a read needs:
+//
+//   - PR² (Pipelined Read-Retry) overlaps consecutive retry steps with the
+//     CACHE READ command, removing data transfer and ECC decoding from the
+//     retry critical path.
+//   - AR² (Adaptive Read-Retry) exploits the large ECC-capability margin of
+//     the final retry step to shorten the page-sensing latency tR, choosing
+//     a safe tPRE reduction per operating condition from a profiled
+//     Read-timing Parameter Table (RPT).
+//
+// This package is the public facade over the full reproduction stack:
+//
+//   - a calibrated 3D TLC NAND error model standing in for the paper's 160
+//     characterized chips (NewChipFleet, NewLab);
+//   - the characterization experiments behind Figures 4b, 5, 7–11 (Lab);
+//   - RPT profiling (ProfileRPT);
+//   - the read-retry controllers themselves (Scheme, BuildPlan);
+//   - an MQSim-style multi-queue SSD simulator (NewSSD) and the Figure
+//     14/15 system-level sweeps (Figure14, Figure15);
+//   - the twelve Table 2 workload generators (Workloads, NewWorkload).
+//
+// See DESIGN.md for the system inventory and EXPERIMENTS.md for measured
+// results versus the paper's.
+package readretry
+
+import (
+	"readretry/internal/charz"
+	"readretry/internal/chip"
+	"readretry/internal/core"
+	"readretry/internal/ecc"
+	"readretry/internal/experiments"
+	"readretry/internal/nand"
+	"readretry/internal/rpt"
+	"readretry/internal/ssd"
+	"readretry/internal/trace"
+	"readretry/internal/vth"
+	"readretry/internal/workload"
+)
+
+// Scheme selects a read-retry controller configuration (§7.2).
+type Scheme = core.Scheme
+
+// The five evaluated configurations.
+const (
+	Baseline = core.Baseline // regular read-retry (Figure 12a)
+	PR2      = core.PR2      // Pipelined Read-Retry (Figure 12b)
+	AR2      = core.AR2      // Adaptive Read-Retry (Figure 13)
+	PnAR2    = core.PnAR2    // both combined
+	NoRR     = core.NoRR     // ideal SSD without read-retry
+)
+
+// ParseScheme converts a configuration name to a Scheme.
+func ParseScheme(name string) (Scheme, error) { return core.ParseScheme(name) }
+
+// Plan building (the controllers' operation DAGs) for direct latency
+// analysis, as in Figures 12 and 13.
+type (
+	// Plan is a controller's operation DAG for one page read.
+	Plan = core.Plan
+	// StepTimings carries the per-operation latencies plans compose.
+	StepTimings = core.StepTimings
+	// ControllerOptions toggles the ablation variants.
+	ControllerOptions = core.Options
+)
+
+// BuildPlan constructs the operation DAG for a read needing nrr retry steps.
+func BuildPlan(s Scheme, nrr int, t StepTimings, opts ControllerOptions) Plan {
+	return core.BuildPlan(s, nrr, t, opts)
+}
+
+// PaperStepTimings returns Table 1's timings with the average tR and the
+// worst-case-safe 40 % tPRE reduction.
+func PaperStepTimings() StepTimings { return experiments.PaperTimings() }
+
+// Chip-model layer.
+type (
+	// ChipParams are the calibrated NAND error-model constants.
+	ChipParams = vth.Params
+	// Condition is an operating condition (P/E cycles, retention,
+	// temperature).
+	Condition = vth.Condition
+	// Chip is one behavioral 3D TLC NAND die.
+	Chip = chip.Chip
+	// ChipFleet is a population of chips sharing a process model.
+	ChipFleet = chip.Fleet
+	// Geometry describes chip organization.
+	Geometry = nand.Geometry
+	// Timing holds Table 1's chip timing parameters.
+	Timing = nand.Timing
+	// Reduction expresses read-timing parameter reductions.
+	Reduction = nand.Reduction
+)
+
+// ChipModel evaluates the calibrated error model directly: per-page drift,
+// final-step error floors, and timing-reduction penalties.
+type ChipModel = vth.Model
+
+// PageType identifies a TLC page's bit position (LSB/CSB/MSB).
+type PageType = nand.PageType
+
+// TLC page types. CSB pages sense three read levels and bound the error
+// envelope.
+const (
+	LSBPage = nand.LSB
+	CSBPage = nand.CSB
+	MSBPage = nand.MSB
+)
+
+// NewChipModel builds an error model over params with the given
+// process-variation seed.
+func NewChipModel(params ChipParams, seed uint64) *ChipModel {
+	return vth.NewModel(params, seed)
+}
+
+// DefaultChipParams returns the model calibrated to the paper's 160-chip
+// characterization (DESIGN.md §4 lists the anchors).
+func DefaultChipParams() ChipParams { return vth.DefaultParams() }
+
+// DefaultGeometry returns the §7.1 chip organization.
+func DefaultGeometry() Geometry { return nand.DefaultGeometry() }
+
+// DefaultTiming returns Table 1.
+func DefaultTiming() Timing { return nand.DefaultTiming() }
+
+// NewChipFleet builds the paper-scale population: 160 chips.
+func NewChipFleet(seed uint64) *ChipFleet { return chip.DefaultFleet(seed) }
+
+// Characterization laboratory (Figures 4b, 5, 7–11).
+type Lab = charz.Lab
+
+// NewLab builds a characterization lab over the default 160-chip fleet,
+// sampling sampleReads pages per measured condition.
+func NewLab(sampleReads int, seed uint64) *Lab { return charz.DefaultLab(sampleReads, seed) }
+
+// RPT profiling (AR²'s Read-timing Parameter Table, §6.2).
+type (
+	// RPT is the profiled table.
+	RPT = rpt.Table
+	// RPTConfig controls profiling (buckets, margin).
+	RPTConfig = rpt.Config
+)
+
+// DefaultRPTConfig returns the paper's profiling setup: 36 buckets, 14-bit
+// safety margin.
+func DefaultRPTConfig() RPTConfig { return rpt.DefaultConfig() }
+
+// ProfileRPT profiles a table for the chip population identified by params
+// and seed.
+func ProfileRPT(params ChipParams, seed uint64, cfg RPTConfig) (*RPT, error) {
+	return rpt.Profile(vth.NewModel(params, seed), cfg)
+}
+
+// ECC engine.
+type ECCEngine = ecc.Engine
+
+// DefaultECC returns the §7.1 engine: 72 bits per 1-KiB codeword in 20 µs.
+func DefaultECC() ECCEngine { return ecc.DefaultEngine() }
+
+// BCH is the real codec realizing the engine's capability.
+type BCH = ecc.BCH
+
+// NewBCH constructs a binary BCH code over GF(2^m) correcting t bit errors
+// in dataBits of payload.
+func NewBCH(m, t, dataBits int) (*BCH, error) { return ecc.NewBCH(m, t, dataBits) }
+
+// LDPC is the other ECC family modern controllers deploy (§2.4), with hard
+// bit-flipping and soft min-sum decoders.
+type LDPC = ecc.LDPC
+
+// NewArrayLDPC constructs a quasi-cyclic array LDPC code with circulant
+// size z (an odd prime), j block rows, and l block columns.
+func NewArrayLDPC(z, j, l int) (*LDPC, error) { return ecc.NewArrayLDPC(z, j, l) }
+
+// SSD simulation.
+type (
+	// SSD is one simulated multi-queue device.
+	SSD = ssd.SSD
+	// SSDConfig assembles a device.
+	SSDConfig = ssd.Config
+	// SSDStats aggregates one run.
+	SSDStats = ssd.Stats
+	// Request is one block-I/O trace record.
+	Request = trace.Record
+)
+
+// DefaultSSDConfig returns the paper's full-size 512-GiB device (§7.1).
+func DefaultSSDConfig() SSDConfig { return ssd.DefaultConfig() }
+
+// ExperimentSSDConfig returns the proportionally scaled device the
+// reproduction sweeps use.
+func ExperimentSSDConfig() SSDConfig { return ssd.ExperimentConfig() }
+
+// NewSSD builds a device.
+func NewSSD(cfg SSDConfig) (*SSD, error) { return ssd.New(cfg) }
+
+// Workloads.
+type (
+	// WorkloadSpec describes one Table 2 workload.
+	WorkloadSpec = workload.Spec
+	// WorkloadGenerator produces a deterministic request stream.
+	WorkloadGenerator = workload.Generator
+)
+
+// PageSize is the 16-KiB logical page size requests align to.
+const PageSize = workload.PageSize
+
+// Workloads returns the twelve Table 2 workloads.
+func Workloads() []WorkloadSpec { return workload.Table2() }
+
+// WorkloadByName returns one Table 2 workload.
+func WorkloadByName(name string) (WorkloadSpec, error) { return workload.ByName(name) }
+
+// NewWorkload builds a generator for a spec.
+func NewWorkload(spec WorkloadSpec, seed uint64) *WorkloadGenerator {
+	return workload.NewGenerator(spec, seed)
+}
+
+// System-level sweeps (Figures 14 and 15).
+type (
+	// SweepConfig parameterizes a Figure 14/15 sweep.
+	SweepConfig = experiments.Config
+	// SweepResult holds the measured cells and summary statistics.
+	SweepResult = experiments.Result
+	// SweepCondition is one (PEC, retention) evaluation point.
+	SweepCondition = experiments.Condition
+)
+
+// DefaultSweepConfig returns the full Figure 14/15 sweep.
+func DefaultSweepConfig() SweepConfig { return experiments.DefaultConfig() }
+
+// QuickSweepConfig returns a reduced sweep for quick runs.
+func QuickSweepConfig() SweepConfig { return experiments.QuickConfig() }
+
+// Figure14 runs the five-configuration response-time sweep.
+func Figure14(cfg SweepConfig) (*SweepResult, error) { return experiments.Figure14(cfg) }
+
+// Figure15 runs the PSO comparison sweep.
+func Figure15(cfg SweepConfig) (*SweepResult, error) { return experiments.Figure15(cfg) }

@@ -1,0 +1,103 @@
+package readretry_test
+
+import (
+	"testing"
+
+	"readretry"
+)
+
+// These tests exercise the public facade exactly the way a downstream user
+// would, keeping the exported API honest.
+
+func TestFacadeChipCharacterization(t *testing.T) {
+	lab := readretry.NewLab(1500, 1)
+	h := lab.RetrySteps(2000, 12, 30)
+	if h.Mean < 15 {
+		t.Errorf("facade lab: mean N_RR at worst case = %.1f", h.Mean)
+	}
+}
+
+func TestFacadePlanLatencies(t *testing.T) {
+	tm := readretry.PaperStepTimings()
+	base := readretry.BuildPlan(readretry.Baseline, 8, tm, readretry.ControllerOptions{})
+	pr := readretry.BuildPlan(readretry.PR2, 8, tm, readretry.ControllerOptions{})
+	if pr.Latency() >= base.Latency() {
+		t.Error("PR2 should beat the baseline through the facade too")
+	}
+}
+
+func TestFacadeParseScheme(t *testing.T) {
+	s, err := readretry.ParseScheme("PnAR2")
+	if err != nil || s != readretry.PnAR2 {
+		t.Errorf("ParseScheme = %v, %v", s, err)
+	}
+}
+
+func TestFacadeRPT(t *testing.T) {
+	table, err := readretry.ProfileRPT(readretry.DefaultChipParams(), 1, readretry.DefaultRPTConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lvl := table.Lookup(2000, 12); lvl != 6 {
+		t.Errorf("worst-case RPT level = %d, want 6 (40%%)", lvl)
+	}
+}
+
+func TestFacadeEndToEndSimulation(t *testing.T) {
+	cfg := readretry.ExperimentSSDConfig()
+	cfg.Geometry.BlocksPerPlane = 24
+	cfg.Geometry.PagesPerBlock = 48
+	cfg.GCThresholdBlocks = 3
+	cfg.PreconditionPages = cfg.TotalPages() * 7 / 10
+	cfg.Scheme = readretry.PnAR2
+	cfg.PEC, cfg.RetentionMonths = 1000, 6
+
+	spec, err := readretry.WorkloadByName("YCSB-C")
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec.FootprintPages = cfg.TotalPages() / 2
+	recs := readretry.NewWorkload(spec, 3).Generate(600)
+
+	dev, err := readretry.NewSSD(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := dev.Run(recs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Completed != 600 {
+		t.Errorf("completed %d, want 600", st.Completed)
+	}
+}
+
+func TestFacadeWorkloadRoster(t *testing.T) {
+	if got := len(readretry.Workloads()); got != 12 {
+		t.Errorf("workloads = %d, want 12", got)
+	}
+}
+
+func TestFacadeBCH(t *testing.T) {
+	code, err := readretry.NewBCH(8, 2, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := []byte{0xDE, 0xAD, 0xBE, 0xEF, 1, 2, 3, 4}
+	parity, err := code.Encode(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[0] ^= 0x10
+	n, err := code.Decode(data, parity)
+	if err != nil || n != 1 || data[0] != 0xDE {
+		t.Errorf("decode: n=%d err=%v data[0]=%#x", n, err, data[0])
+	}
+}
+
+func TestFacadeECCDefaults(t *testing.T) {
+	e := readretry.DefaultECC()
+	if e.Capability != 72 {
+		t.Errorf("capability = %d", e.Capability)
+	}
+}
