@@ -7,6 +7,8 @@
 package readretry_test
 
 import (
+	"context"
+	"runtime"
 	"testing"
 
 	"readretry/internal/charz"
@@ -223,6 +225,43 @@ func BenchmarkFig15PSO(b *testing.B) {
 		gain = 1 - combo.MeanAll()/pso.MeanAll()
 	}
 	b.ReportMetric(gain*100, "combo_gain_pct")
+}
+
+// --- Sweep engine ---------------------------------------------------------------
+
+// benchSweepConfig is a trimmed Figure 14 grid: 3 workloads × 2 conditions
+// × 5 variants = 30 independent simulations per iteration, enough fan-out
+// for the pool to matter while keeping an iteration in seconds.
+func benchSweepConfig() experiments.Config {
+	cfg := experiments.QuickConfig()
+	cfg.Requests = 400
+	return cfg
+}
+
+func BenchmarkSweepSerial(b *testing.B) {
+	cfg := benchSweepConfig()
+	cfg.Parallelism = 1
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.RunSweep(context.Background(), cfg, experiments.Figure14Variants()); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(1, "workers")
+}
+
+// BenchmarkSweepParallel is BenchmarkSweepSerial on the full worker pool;
+// compare ns/op between the two. On GOMAXPROCS≥4 the grid's 30 independent
+// cells give the pool near-linear headroom (the serial fraction is one
+// trace generation per workload).
+func BenchmarkSweepParallel(b *testing.B) {
+	cfg := benchSweepConfig()
+	cfg.Parallelism = 0 // GOMAXPROCS
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.RunSweep(context.Background(), cfg, experiments.Figure14Variants()); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(runtime.GOMAXPROCS(0)), "workers")
 }
 
 // --- Ablations (DESIGN.md §6) -------------------------------------------------

@@ -7,6 +7,7 @@
 //	repro                  # everything, at the default scale
 //	repro -only fig14      # one experiment
 //	repro -quick           # reduced Figure 14/15 sweeps
+//	repro -parallel 8      # bound the sweep engine's worker pool
 package main
 
 import (
@@ -28,11 +29,30 @@ import (
 )
 
 var (
-	only    = flag.String("only", "all", "experiment to run: table1, table2, fig4b, fig5, fig7, fig8, fig9, fig10, fig11, fig12, fig13, fig14, fig15, or all")
-	quick   = flag.Bool("quick", false, "reduced Figure 14/15 sweeps")
-	samples = flag.Int("samples", 8000, "characterization sample reads per condition")
-	seed    = flag.Uint64("seed", 1, "process-variation seed")
+	only     = flag.String("only", "all", "experiment to run: table1, table2, fig4b, fig5, fig7, fig8, fig9, fig10, fig11, fig12, fig13, fig14, fig15, or all")
+	quick    = flag.Bool("quick", false, "reduced Figure 14/15 sweeps")
+	samples  = flag.Int("samples", 8000, "characterization sample reads per condition")
+	seed     = flag.Uint64("seed", 1, "process-variation seed")
+	parallel = flag.Int("parallel", 0, "sweep worker pool size (0 = GOMAXPROCS, 1 = serial)")
+	progress = flag.Bool("progress", true, "report sweep progress on stderr")
 )
+
+// sweepProgress returns a Progress callback that reports the named sweep on
+// stderr at 10 % milestones (cells complete out of order only internally —
+// the callback itself is serialized by the engine).
+func sweepProgress(name string) func(done, total int) {
+	lastDecade := -1
+	return func(done, total int) {
+		pct := done * 100 / total
+		if pct/10 > lastDecade || done == total {
+			lastDecade = pct / 10
+			fmt.Fprintf(os.Stderr, "\r%s: %d/%d cells (%d%%)", name, done, total, pct)
+			if done == total {
+				fmt.Fprintln(os.Stderr)
+			}
+		}
+	}
+}
 
 func want(name string) bool { return *only == "all" || strings.EqualFold(*only, name) }
 
@@ -262,8 +282,12 @@ func main() {
 		if *quick {
 			cfg = experiments.QuickConfig()
 		}
+		cfg.Parallelism = *parallel
 		if want("fig14") {
 			header("Figure 14: SSD response time (normalized to Baseline)")
+			if *progress {
+				cfg.Progress = sweepProgress("fig14")
+			}
 			res, err := experiments.Figure14(cfg)
 			if err != nil {
 				fmt.Fprintf(os.Stderr, "repro: fig14: %v\n", err)
@@ -289,6 +313,9 @@ func main() {
 		}
 		if want("fig15") {
 			header("Figure 15: combining with PSO (normalized to Baseline)")
+			if *progress {
+				cfg.Progress = sweepProgress("fig15")
+			}
 			res, err := experiments.Figure15(cfg)
 			if err != nil {
 				fmt.Fprintf(os.Stderr, "repro: fig15: %v\n", err)

@@ -2,10 +2,16 @@
 // configurations on a read-dominant YCSB-C workload at a worn operating
 // point, through the full multi-queue SSD simulator.
 //
+// The five runs are independent, so the example drives them through the
+// parallel sweep engine (readretry.RunSweep): the YCSB-C trace is generated
+// once, the cells fan out over a GOMAXPROCS-bounded worker pool, and the
+// result is identical to a serial run.
+//
 //	go run ./examples/ssd_simulation
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -15,42 +21,23 @@ import (
 func main() {
 	// A scaled device: paper parallelism (4 channels × 4 dies × 2 planes),
 	// fewer blocks so the run finishes in seconds.
-	base := readretry.ExperimentSSDConfig()
-	base.PEC = 2000
-	base.RetentionMonths = 6
+	cfg := readretry.DefaultSweepConfig()
+	cfg.Workloads = []string{"YCSB-C"}
+	cfg.Conditions = []readretry.SweepCondition{{PEC: 2000, Months: 6}}
+	cfg.Requests = 3000
+	cfg.Parallelism = 0 // GOMAXPROCS workers
 
-	spec, err := readretry.WorkloadByName("YCSB-C")
+	res, err := readretry.RunSweep(context.Background(), cfg, readretry.Figure14Variants())
 	if err != nil {
 		log.Fatal(err)
 	}
-	spec.FootprintPages = base.TotalPages() * 6 / 10
-	spec.AvgIOPS = 1200
-	recs := readretry.NewWorkload(spec, 7).Generate(3000)
 
-	fmt.Printf("YCSB-C, %d requests, device aged to (2K P/E, 6 months):\n\n", len(recs))
+	fmt.Printf("YCSB-C, %d requests, device aged to (2K P/E, 6 months):\n\n", cfg.Requests)
 	fmt.Printf("  %-9s %12s %12s %12s %12s\n",
 		"config", "mean resp", "mean read", "p99 read", "vs Baseline")
-
-	var baseline float64
-	for _, s := range []readretry.Scheme{
-		readretry.Baseline, readretry.PR2, readretry.AR2, readretry.PnAR2, readretry.NoRR,
-	} {
-		cfg := base
-		cfg.Scheme = s
-		dev, err := readretry.NewSSD(cfg)
-		if err != nil {
-			log.Fatal(err)
-		}
-		st, err := dev.Run(recs)
-		if err != nil {
-			log.Fatal(err)
-		}
-		if s == readretry.Baseline {
-			baseline = st.MeanAll()
-		}
+	for _, c := range res.Cells {
 		fmt.Printf("  %-9s %10.0fus %10.0fus %10.0fus %11.1f%%\n",
-			s, st.MeanAll(), st.MeanRead(), st.ReadPercentile(99),
-			(1-st.MeanAll()/baseline)*100)
+			c.Config, c.Mean, c.MeanRead, c.P99Read, (1-c.Normalized)*100)
 	}
 
 	fmt.Println("\nPnAR2 combines PR2's pipelining with AR2's shorter sensing;")

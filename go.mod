@@ -1,0 +1,3 @@
+module readretry
+
+go 1.21

@@ -7,6 +7,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"sort"
@@ -43,6 +44,14 @@ type Config struct {
 	Requests int
 	IOPS     float64
 	Seed     uint64
+	// Parallelism bounds RunSweep's worker pool. 0 (the default) selects
+	// runtime.GOMAXPROCS(0); 1 reproduces the original serial execution
+	// order exactly. The result is identical at every setting.
+	Parallelism int
+	// Progress, when non-nil, is invoked after each completed cell with
+	// the running count and the grid total. Calls are serialized and
+	// done is strictly increasing.
+	Progress func(done, total int)
 }
 
 // DefaultConfig returns the full Figure 14/15 sweep at experiment scale.
@@ -77,6 +86,7 @@ type Cell struct {
 	Config     string  // "Baseline", "PR2", …, "PSO", "PSO+PnAR2"
 	Mean       float64 // mean response time, µs
 	MeanRead   float64
+	P99Read    float64 // 99th-percentile read response time, µs
 	Normalized float64 // Mean / Baseline's Mean at the same (workload, cond)
 	RetrySteps float64 // mean N_RR observed
 }
@@ -119,85 +129,16 @@ func runOne(cfg Config, recs []trace.Record, cond Condition, scheme core.Scheme,
 }
 
 // Figure14 runs the five-configuration sweep and normalizes to Baseline.
+// It is RunSweep over Figure14Variants with a background context.
 func Figure14(cfg Config) (*Result, error) {
-	schemes := []core.Scheme{core.Baseline, core.PR2, core.AR2, core.PnAR2, core.NoRR}
-	res := &Result{}
-	for _, s := range schemes {
-		res.Configs = append(res.Configs, s.String())
-	}
-	for _, wl := range cfg.Workloads {
-		recs, err := traceFor(cfg, wl)
-		if err != nil {
-			return nil, err
-		}
-		for _, cond := range cfg.Conditions {
-			var baseline float64
-			for _, scheme := range schemes {
-				st, err := runOne(cfg, recs, cond, scheme, false)
-				if err != nil {
-					return nil, fmt.Errorf("%s %v %v: %w", wl, cond, scheme, err)
-				}
-				mean := st.MeanAll()
-				if scheme == core.Baseline {
-					baseline = mean
-				}
-				res.Cells = append(res.Cells, Cell{
-					Workload: wl, Cond: cond, Config: scheme.String(),
-					Mean: mean, MeanRead: st.MeanRead(),
-					Normalized: mean / baseline,
-					RetrySteps: st.MeanRetrySteps(),
-				})
-			}
-		}
-	}
-	return res, nil
+	return RunSweep(context.Background(), cfg, Figure14Variants())
 }
 
 // Figure15 runs the PSO comparison: PSO alone and PSO+PnAR², normalized to
 // the *plain* Baseline of Figure 14 (as the paper plots), with NoRR as the
-// ideal reference.
+// ideal reference. It is RunSweep over Figure15Variants.
 func Figure15(cfg Config) (*Result, error) {
-	type variant struct {
-		name   string
-		scheme core.Scheme
-		pso    bool
-	}
-	variants := []variant{
-		{"Baseline", core.Baseline, false},
-		{"PSO", core.Baseline, true},
-		{"PSO+PnAR2", core.PnAR2, true},
-		{"NoRR", core.NoRR, false},
-	}
-	res := &Result{}
-	for _, v := range variants {
-		res.Configs = append(res.Configs, v.name)
-	}
-	for _, wl := range cfg.Workloads {
-		recs, err := traceFor(cfg, wl)
-		if err != nil {
-			return nil, err
-		}
-		for _, cond := range cfg.Conditions {
-			var baseline float64
-			for _, v := range variants {
-				st, err := runOne(cfg, recs, cond, v.scheme, v.pso)
-				if err != nil {
-					return nil, fmt.Errorf("%s %v %s: %w", wl, cond, v.name, err)
-				}
-				mean := st.MeanAll()
-				if v.name == "Baseline" {
-					baseline = mean
-				}
-				res.Cells = append(res.Cells, Cell{
-					Workload: wl, Cond: cond, Config: v.name,
-					Mean: mean, MeanRead: st.MeanRead(),
-					Normalized: mean / baseline,
-					RetrySteps: st.MeanRetrySteps(),
-				})
-			}
-		}
-	}
-	return res, nil
+	return RunSweep(context.Background(), cfg, Figure15Variants())
 }
 
 // cells selects measurements by configuration name.
@@ -363,16 +304,16 @@ func workloadOrder(name string) int {
 
 // WriteCSV emits the raw cells as CSV (one measurement per row) for
 // external plotting: workload, pec, months, config, mean_us, mean_read_us,
-// normalized, retry_steps.
+// p99_read_us, normalized, retry_steps.
 func (r *Result) WriteCSV(w io.Writer) error {
 	if _, err := fmt.Fprintln(w,
-		"workload,pec,months,config,mean_us,mean_read_us,normalized,retry_steps"); err != nil {
+		"workload,pec,months,config,mean_us,mean_read_us,p99_read_us,normalized,retry_steps"); err != nil {
 		return err
 	}
 	for _, c := range r.Cells {
-		if _, err := fmt.Fprintf(w, "%s,%d,%g,%s,%.2f,%.2f,%.4f,%.2f\n",
+		if _, err := fmt.Fprintf(w, "%s,%d,%g,%s,%.2f,%.2f,%.2f,%.4f,%.2f\n",
 			c.Workload, c.Cond.PEC, c.Cond.Months, c.Config,
-			c.Mean, c.MeanRead, c.Normalized, c.RetrySteps); err != nil {
+			c.Mean, c.MeanRead, c.P99Read, c.Normalized, c.RetrySteps); err != nil {
 			return err
 		}
 	}

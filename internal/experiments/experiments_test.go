@@ -190,8 +190,8 @@ func TestWriteCSV(t *testing.T) {
 		t.Errorf("CSV header = %q", lines[0])
 	}
 	for _, line := range lines[1:] {
-		if got := strings.Count(line, ","); got != 7 {
-			t.Fatalf("CSV row has %d commas, want 7: %q", got, line)
+		if got := strings.Count(line, ","); got != 8 {
+			t.Fatalf("CSV row has %d commas, want 8: %q", got, line)
 		}
 	}
 }

@@ -1,0 +1,219 @@
+package experiments
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+
+	"readretry/internal/core"
+	"readretry/internal/trace"
+	"readretry/internal/workload"
+)
+
+// Variant is one configuration column of a sweep: a named (scheme, PSO)
+// combination. Figure 14 sweeps the five schemes; Figure 15 adds the
+// PSO-enabled combinations.
+type Variant struct {
+	Name   string
+	Scheme core.Scheme
+	PSO    bool
+}
+
+// Figure14Variants returns the five §7.2 configurations in presentation
+// order: Baseline, PR², AR², PnAR², NoRR.
+func Figure14Variants() []Variant {
+	var out []Variant
+	for _, s := range []core.Scheme{core.Baseline, core.PR2, core.AR2, core.PnAR2, core.NoRR} {
+		out = append(out, Variant{Name: s.String(), Scheme: s})
+	}
+	return out
+}
+
+// Figure15Variants returns the PSO comparison columns: plain Baseline, PSO
+// alone, PSO+PnAR², and the ideal NoRR reference.
+func Figure15Variants() []Variant {
+	return []Variant{
+		{Name: "Baseline", Scheme: core.Baseline},
+		{Name: "PSO", Scheme: core.Baseline, PSO: true},
+		{Name: "PSO+PnAR2", Scheme: core.PnAR2, PSO: true},
+		{Name: "NoRR", Scheme: core.NoRR},
+	}
+}
+
+// sharedTrace lazily generates one workload's request stream exactly once,
+// no matter how many of its cells run concurrently.
+type sharedTrace struct {
+	once sync.Once
+	recs []trace.Record
+	err  error
+}
+
+// RunSweep executes the full (workload × condition × variant) grid through
+// the SSD simulator and returns the collected cells in canonical order:
+// workload-major, then condition, then variant — the same order the original
+// serial loops produced.
+//
+// Every cell is an independent simulation, so the engine fans them out over
+// a worker pool bounded by cfg.Parallelism (0 selects runtime.GOMAXPROCS).
+// Each workload's trace is generated once and shared by all of its cells.
+// Normalization against the reference variant (the one named "Baseline", or
+// the first variant if none is) is computed after all cells are collected,
+// so the result does not depend on execution order: for a fixed cfg the
+// parallel result is bit-identical to the serial one.
+//
+// ctx cancels the sweep: in-flight simulations finish, queued cells are
+// abandoned, and the context's error is returned. cfg.Progress, when set,
+// observes completed cells as they land.
+func RunSweep(ctx context.Context, cfg Config, variants []Variant) (*Result, error) {
+	if len(variants) == 0 {
+		return nil, errors.New("experiments: sweep needs at least one variant")
+	}
+	wls := cfg.Workloads
+	if wls == nil {
+		wls = workload.Names()
+	}
+	conds := cfg.Conditions
+	if conds == nil {
+		conds = DefaultConfig().Conditions
+	}
+	// Validate the roster upfront so an unknown workload fails before any
+	// simulation spends time, and independently of worker scheduling.
+	for _, wl := range wls {
+		if _, err := workload.ByName(wl); err != nil {
+			return nil, err
+		}
+	}
+
+	res := &Result{Cells: make([]Cell, len(wls)*len(conds)*len(variants))}
+	for _, v := range variants {
+		res.Configs = append(res.Configs, v.Name)
+	}
+	total := len(res.Cells)
+	if total == 0 {
+		return res, ctx.Err()
+	}
+
+	workers := cfg.Parallelism
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > total {
+		workers = total
+	}
+
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	traces := make([]sharedTrace, len(wls))
+	jobs := make(chan int)
+	var (
+		wg       sync.WaitGroup
+		mu       sync.Mutex // guards done and firstErr, serializes Progress
+		done     int
+		firstErr error
+	)
+	fail := func(err error) {
+		mu.Lock()
+		if firstErr == nil {
+			firstErr = err
+			cancel()
+		}
+		mu.Unlock()
+	}
+
+	cellsPerWorkload := len(conds) * len(variants)
+	worker := func() {
+		defer wg.Done()
+		for idx := range jobs {
+			if ctx.Err() != nil {
+				return
+			}
+			wi := idx / cellsPerWorkload
+			ci := idx % cellsPerWorkload / len(variants)
+			vi := idx % len(variants)
+
+			tr := &traces[wi]
+			tr.once.Do(func() { tr.recs, tr.err = traceFor(cfg, wls[wi]) })
+			if tr.err != nil {
+				fail(tr.err)
+				return
+			}
+			v := variants[vi]
+			st, err := runOne(cfg, tr.recs, conds[ci], v.Scheme, v.PSO)
+			if err != nil {
+				fail(fmt.Errorf("%s %v %s: %w", wls[wi], conds[ci], v.Name, err))
+				return
+			}
+			res.Cells[idx] = Cell{
+				Workload: wls[wi], Cond: conds[ci], Config: v.Name,
+				Mean: st.MeanAll(), MeanRead: st.MeanRead(),
+				P99Read:    st.ReadPercentile(99),
+				RetrySteps: st.MeanRetrySteps(),
+			}
+			mu.Lock()
+			done++
+			if cfg.Progress != nil {
+				cfg.Progress(done, total)
+			}
+			mu.Unlock()
+		}
+	}
+	wg.Add(workers)
+	for i := 0; i < workers; i++ {
+		go worker()
+	}
+
+feed:
+	for idx := 0; idx < total; idx++ {
+		select {
+		case jobs <- idx:
+		case <-ctx.Done():
+			break feed
+		}
+	}
+	close(jobs)
+	wg.Wait()
+
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("experiments: sweep canceled after %d/%d cells: %w", done, total, err)
+	}
+
+	normalize(res.Cells, variants, referenceVariant(variants))
+	return res, nil
+}
+
+// referenceVariant picks the normalization column: the variant named
+// "Baseline" if present, otherwise the first one.
+func referenceVariant(variants []Variant) string {
+	for _, v := range variants {
+		if v.Name == "Baseline" {
+			return v.Name
+		}
+	}
+	return variants[0].Name
+}
+
+// normalize fills Cell.Normalized post hoc. Cells arrive in canonical order,
+// so each (workload, condition) stripe is a contiguous run of len(variants)
+// cells containing exactly one reference measurement.
+func normalize(cells []Cell, variants []Variant, reference string) {
+	stride := len(variants)
+	for base := 0; base < len(cells); base += stride {
+		stripe := cells[base : base+stride]
+		var ref float64
+		for _, c := range stripe {
+			if c.Config == reference {
+				ref = c.Mean
+				break
+			}
+		}
+		for i := range stripe {
+			stripe[i].Normalized = stripe[i].Mean / ref
+		}
+	}
+}

@@ -1,0 +1,218 @@
+package experiments
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"reflect"
+	"testing"
+	"time"
+
+	"readretry/internal/core"
+)
+
+// tinySweepConfig keeps determinism tests fast: 2 workloads × 1 condition
+// × 5 variants = 10 simulations per run.
+func tinySweepConfig(seed uint64) Config {
+	cfg := QuickConfig()
+	cfg.Workloads = []string{"stg_0", "YCSB-C"}
+	cfg.Conditions = []Condition{{2000, 6}}
+	cfg.Requests = 400
+	cfg.Seed = seed
+	return cfg
+}
+
+// serialReference reimplements the original pre-engine nested loop —
+// workload-major, condition, then variant, normalizing against the Baseline
+// measured earlier in the same stripe — as the ground truth the engine must
+// reproduce bit-for-bit.
+func serialReference(t *testing.T, cfg Config, variants []Variant) *Result {
+	t.Helper()
+	res := &Result{}
+	for _, v := range variants {
+		res.Configs = append(res.Configs, v.Name)
+	}
+	for _, wl := range cfg.Workloads {
+		recs, err := traceFor(cfg, wl)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, cond := range cfg.Conditions {
+			var baseline float64
+			for _, v := range variants {
+				st, err := runOne(cfg, recs, cond, v.Scheme, v.PSO)
+				if err != nil {
+					t.Fatal(err)
+				}
+				mean := st.MeanAll()
+				if v.Name == "Baseline" {
+					baseline = mean
+				}
+				res.Cells = append(res.Cells, Cell{
+					Workload: wl, Cond: cond, Config: v.Name,
+					Mean: mean, MeanRead: st.MeanRead(),
+					P99Read:    st.ReadPercentile(99),
+					Normalized: mean / baseline,
+					RetrySteps: st.MeanRetrySteps(),
+				})
+			}
+		}
+	}
+	return res
+}
+
+func TestSweepParallelMatchesSerial(t *testing.T) {
+	for _, seed := range []uint64{7, 41} {
+		cfg := tinySweepConfig(seed)
+
+		serial := cfg
+		serial.Parallelism = 1
+		a, err := RunSweep(context.Background(), serial, Figure14Variants())
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		par := cfg
+		par.Parallelism = 8
+		b, err := RunSweep(context.Background(), par, Figure14Variants())
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		if !reflect.DeepEqual(a, b) {
+			t.Fatalf("seed %d: parallel result differs from serial", seed)
+		}
+		// Byte-identical through the CSV path too.
+		var bufA, bufB bytes.Buffer
+		if err := a.WriteCSV(&bufA); err != nil {
+			t.Fatal(err)
+		}
+		if err := b.WriteCSV(&bufB); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(bufA.Bytes(), bufB.Bytes()) {
+			t.Fatalf("seed %d: CSV output differs between serial and parallel", seed)
+		}
+	}
+}
+
+func TestSweepParallelismOneMatchesLegacyLoop(t *testing.T) {
+	cfg := tinySweepConfig(7)
+	want := serialReference(t, cfg, Figure14Variants())
+
+	cfg.Parallelism = 1
+	got, err := RunSweep(context.Background(), cfg, Figure14Variants())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatal("Parallelism=1 engine result differs from the legacy serial loop")
+	}
+}
+
+func TestSweepCanceledBeforeStart(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	start := time.Now()
+	_, err := RunSweep(ctx, tinySweepConfig(7), Figure14Variants())
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Fatalf("pre-canceled sweep took %v, want prompt return", elapsed)
+	}
+}
+
+func TestSweepCanceledMidway(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	cfg := tinySweepConfig(7)
+	cfg.Parallelism = 1
+	// Cancel as soon as the first cell lands; the remaining 9 must be
+	// abandoned rather than simulated.
+	cfg.Progress = func(done, total int) {
+		if done == 1 {
+			cancel()
+		}
+	}
+	_, err := RunSweep(ctx, cfg, Figure14Variants())
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}
+
+func TestSweepProgressCallback(t *testing.T) {
+	cfg := tinySweepConfig(7)
+	cfg.Parallelism = 4
+	var calls []int
+	var sawTotal int
+	cfg.Progress = func(done, total int) {
+		calls = append(calls, done) // serialized by the engine
+		sawTotal = total
+	}
+	res, err := RunSweep(context.Background(), cfg, Figure14Variants())
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := len(res.Cells)
+	if sawTotal != want {
+		t.Errorf("reported total = %d, want %d", sawTotal, want)
+	}
+	if len(calls) != want {
+		t.Fatalf("progress called %d times, want %d", len(calls), want)
+	}
+	for i, d := range calls {
+		if d != i+1 {
+			t.Fatalf("progress done sequence not strictly increasing: %v", calls)
+		}
+	}
+}
+
+func TestSweepNoVariants(t *testing.T) {
+	if _, err := RunSweep(context.Background(), tinySweepConfig(7), nil); err == nil {
+		t.Fatal("expected error for empty variant list")
+	}
+}
+
+func TestSweepUnknownWorkloadFailsBeforeSimulating(t *testing.T) {
+	cfg := tinySweepConfig(7)
+	cfg.Workloads = []string{"stg_0", "bogus"}
+	called := false
+	cfg.Progress = func(done, total int) { called = true }
+	if _, err := RunSweep(context.Background(), cfg, Figure14Variants()); err == nil {
+		t.Fatal("expected error for unknown workload")
+	}
+	if called {
+		t.Error("sweep simulated cells despite an invalid roster")
+	}
+}
+
+func TestFigure15VariantsShape(t *testing.T) {
+	vs := Figure15Variants()
+	if len(vs) != 4 || vs[0].Name != "Baseline" || vs[1].Name != "PSO" ||
+		vs[2].Name != "PSO+PnAR2" || vs[3].Name != "NoRR" {
+		t.Fatalf("Figure15Variants = %+v", vs)
+	}
+	if !vs[1].PSO || vs[1].Scheme != core.Baseline {
+		t.Error("PSO variant should enable PSO over the Baseline scheme")
+	}
+	if !vs[2].PSO || vs[2].Scheme != core.PnAR2 {
+		t.Error("PSO+PnAR2 variant should enable PSO over PnAR2")
+	}
+}
+
+func TestFigure14VariantsShape(t *testing.T) {
+	vs := Figure14Variants()
+	want := []string{"Baseline", "PR2", "AR2", "PnAR2", "NoRR"}
+	if len(vs) != len(want) {
+		t.Fatalf("got %d variants, want %d", len(vs), len(want))
+	}
+	for i, v := range vs {
+		if v.Name != want[i] {
+			t.Errorf("variant %d = %q, want %q", i, v.Name, want[i])
+		}
+		if v.PSO {
+			t.Errorf("variant %q should not enable PSO", v.Name)
+		}
+	}
+}

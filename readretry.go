@@ -28,6 +28,8 @@
 package readretry
 
 import (
+	"context"
+
 	"readretry/internal/charz"
 	"readretry/internal/chip"
 	"readretry/internal/core"
@@ -221,12 +223,15 @@ func NewWorkload(spec WorkloadSpec, seed uint64) *WorkloadGenerator {
 
 // System-level sweeps (Figures 14 and 15).
 type (
-	// SweepConfig parameterizes a Figure 14/15 sweep.
+	// SweepConfig parameterizes a Figure 14/15 sweep, including the
+	// engine's Parallelism bound and Progress callback.
 	SweepConfig = experiments.Config
 	// SweepResult holds the measured cells and summary statistics.
 	SweepResult = experiments.Result
 	// SweepCondition is one (PEC, retention) evaluation point.
 	SweepCondition = experiments.Condition
+	// SweepVariant is one configuration column of a sweep.
+	SweepVariant = experiments.Variant
 )
 
 // DefaultSweepConfig returns the full Figure 14/15 sweep.
@@ -240,3 +245,19 @@ func Figure14(cfg SweepConfig) (*SweepResult, error) { return experiments.Figure
 
 // Figure15 runs the PSO comparison sweep.
 func Figure15(cfg SweepConfig) (*SweepResult, error) { return experiments.Figure15(cfg) }
+
+// Figure14Variants returns the five §7.2 configurations in presentation
+// order.
+func Figure14Variants() []SweepVariant { return experiments.Figure14Variants() }
+
+// Figure15Variants returns the PSO comparison columns.
+func Figure15Variants() []SweepVariant { return experiments.Figure15Variants() }
+
+// RunSweep executes an arbitrary (workload × condition × variant) grid on
+// the parallel sweep engine: cells fan out over a worker pool bounded by
+// cfg.Parallelism, each workload's trace is generated once and shared, and
+// the result is bit-identical to a serial run of the same cfg. ctx cancels
+// the sweep; cfg.Progress observes completed cells.
+func RunSweep(ctx context.Context, cfg SweepConfig, variants []SweepVariant) (*SweepResult, error) {
+	return experiments.RunSweep(ctx, cfg, variants)
+}
