@@ -8,6 +8,7 @@ package readretry_test
 
 import (
 	"context"
+	"io"
 	"runtime"
 	"testing"
 
@@ -15,6 +16,7 @@ import (
 	"readretry/internal/core"
 	"readretry/internal/ecc"
 	"readretry/internal/experiments"
+	"readretry/internal/experiments/cellcache"
 	"readretry/internal/nand"
 	"readretry/internal/rng"
 	"readretry/internal/rpt"
@@ -262,6 +264,75 @@ func BenchmarkSweepParallel(b *testing.B) {
 		}
 	}
 	b.ReportMetric(float64(runtime.GOMAXPROCS(0)), "workers")
+}
+
+// BenchmarkSweepColdCache measures a cache-enabled sweep where every cell
+// misses (a fresh cache per iteration): the baseline cost plus key
+// derivation and Put overhead. Compare against BenchmarkSweepParallel for
+// the cache's cold-path tax and against BenchmarkSweepWarmCache for its
+// payoff.
+func BenchmarkSweepColdCache(b *testing.B) {
+	cfg := benchSweepConfig()
+	cfg.Parallelism = 0
+	for i := 0; i < b.N; i++ {
+		cfg.Cache = cellcache.Memory()
+		if _, err := experiments.RunSweep(context.Background(), cfg, experiments.Figure14Variants()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSweepWarmCache measures a fully cached sweep: every cell is a
+// hit, so no simulation or trace generation runs — the per-iteration cost
+// is pure engine plumbing (hashing, lookups, resequencing).
+func BenchmarkSweepWarmCache(b *testing.B) {
+	cfg := benchSweepConfig()
+	cfg.Parallelism = 0
+	cfg.Cache = cellcache.Memory()
+	if _, err := experiments.RunSweep(context.Background(), cfg, experiments.Figure14Variants()); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.RunSweep(context.Background(), cfg, experiments.Figure14Variants()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSweepBufferedCSV materializes the Result and then encodes it,
+// the pre-streaming shape: the whole grid is held in memory before the
+// first CSV byte exists.
+func BenchmarkSweepBufferedCSV(b *testing.B) {
+	cfg := benchSweepConfig()
+	cfg.Parallelism = 0
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.RunSweep(context.Background(), cfg, experiments.Figure14Variants())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := res.WriteCSV(io.Discard); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSweepStreamingCSV emits rows as stripes complete via a CSVSink;
+// output is byte-identical to the buffered path but overlaps encoding with
+// simulation, so the writer starts seeing rows mid-sweep.
+func BenchmarkSweepStreamingCSV(b *testing.B) {
+	cfg := benchSweepConfig()
+	cfg.Parallelism = 0
+	for i := 0; i < b.N; i++ {
+		sink, err := experiments.NewCSVSink(io.Discard)
+		if err != nil {
+			b.Fatal(err)
+		}
+		cfg.Sink = sink
+		if _, err := experiments.RunSweep(context.Background(), cfg, experiments.Figure14Variants()); err != nil {
+			b.Fatal(err)
+		}
+	}
 }
 
 // --- Ablations (DESIGN.md §6) -------------------------------------------------

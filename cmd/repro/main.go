@@ -8,18 +8,22 @@
 //	repro -only fig14      # one experiment
 //	repro -quick           # reduced Figure 14/15 sweeps
 //	repro -parallel 8      # bound the sweep engine's worker pool
+//	repro -csv out         # stream sweep cells to out/fig14.csv, out/fig15.csv
+//	repro -cache-dir .rrc  # persist per-cell results; re-runs skip known cells
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 	"strings"
 
 	"readretry/internal/charz"
 	"readretry/internal/core"
 	"readretry/internal/ecc"
 	"readretry/internal/experiments"
+	"readretry/internal/experiments/cellcache"
 	"readretry/internal/nand"
 	"readretry/internal/rpt"
 	"readretry/internal/ssd"
@@ -35,7 +39,32 @@ var (
 	seed     = flag.Uint64("seed", 1, "process-variation seed")
 	parallel = flag.Int("parallel", 0, "sweep worker pool size (0 = GOMAXPROCS, 1 = serial)")
 	progress = flag.Bool("progress", true, "report sweep progress on stderr")
+	csvDir   = flag.String("csv", "", "directory to stream per-figure sweep CSVs into (fig14.csv, fig15.csv), written row-by-row as cells complete")
+	cacheDir = flag.String("cache-dir", "", "per-cell sweep cache directory: re-runs only simulate cells not already cached")
 )
+
+// csvSinkFor opens dir/<name>.csv for streaming when -csv is set; the
+// returned closer flushes and reports late write errors. Without -csv it
+// returns a nil sink.
+func csvSinkFor(name string) (experiments.CellSink, func() error, error) {
+	if *csvDir == "" {
+		return nil, func() error { return nil }, nil
+	}
+	if err := os.MkdirAll(*csvDir, 0o755); err != nil {
+		return nil, nil, err
+	}
+	path := filepath.Join(*csvDir, name+".csv")
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	sink, err := experiments.NewCSVSink(f)
+	if err != nil {
+		f.Close()
+		return nil, nil, err
+	}
+	return sink, f.Close, nil
+}
 
 // sweepProgress returns a Progress callback that reports the named sweep on
 // stderr at 10 % milestones (cells complete out of order only internally —
@@ -283,16 +312,38 @@ func main() {
 			cfg = experiments.QuickConfig()
 		}
 		cfg.Parallelism = *parallel
+		if *cacheDir != "" {
+			// The disk tier makes re-runs incremental; within one
+			// invocation it also lets fig15 reuse fig14's Baseline and
+			// NoRR cells (same scheme+PSO, so the same content address).
+			cache, err := cellcache.Disk(*cacheDir)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "repro: %v\n", err)
+				os.Exit(1)
+			}
+			cfg.Cache = cache
+		}
 		if want("fig14") {
 			header("Figure 14: SSD response time (normalized to Baseline)")
 			if *progress {
 				cfg.Progress = sweepProgress("fig14")
 			}
+			sink, closeCSV, err := csvSinkFor("fig14")
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "repro: fig14: %v\n", err)
+				os.Exit(1)
+			}
+			cfg.Sink = sink
 			res, err := experiments.Figure14(cfg)
 			if err != nil {
 				fmt.Fprintf(os.Stderr, "repro: fig14: %v\n", err)
 				os.Exit(1)
 			}
+			if err := closeCSV(); err != nil {
+				fmt.Fprintf(os.Stderr, "repro: fig14 csv: %v\n", err)
+				os.Exit(1)
+			}
+			cfg.Sink = nil
 			res.Render(os.Stdout)
 			prAvg, prMax := res.Reduction("PR2", "Baseline", false)
 			arAvg, arMax := res.Reduction("AR2", "Baseline", false)
@@ -316,11 +367,22 @@ func main() {
 			if *progress {
 				cfg.Progress = sweepProgress("fig15")
 			}
+			sink, closeCSV, err := csvSinkFor("fig15")
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "repro: fig15: %v\n", err)
+				os.Exit(1)
+			}
+			cfg.Sink = sink
 			res, err := experiments.Figure15(cfg)
 			if err != nil {
 				fmt.Fprintf(os.Stderr, "repro: fig15: %v\n", err)
 				os.Exit(1)
 			}
+			if err := closeCSV(); err != nil {
+				fmt.Fprintf(os.Stderr, "repro: fig15 csv: %v\n", err)
+				os.Exit(1)
+			}
+			cfg.Sink = nil
 			res.Render(os.Stdout)
 			add("Fig 15", "PSO response time vs NoRR (read-dominant)", "1.92x avg (≤4.31x)",
 				fmt.Sprintf("%.2fx avg", res.RatioToNoRR("PSO", true)))

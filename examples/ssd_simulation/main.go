@@ -3,9 +3,13 @@
 // point, through the full multi-queue SSD simulator.
 //
 // The five runs are independent, so the example drives them through the
-// parallel sweep engine (readretry.RunSweep): the YCSB-C trace is generated
-// once, the cells fan out over a GOMAXPROCS-bounded worker pool, and the
-// result is identical to a serial run.
+// streaming sweep engine (readretry.RunSweep): the YCSB-C trace is
+// generated once, the cells fan out over a GOMAXPROCS-bounded worker pool,
+// and each table row prints the moment the engine releases it — in
+// canonical order, already normalized — rather than after the whole grid
+// finishes. A per-cell cache then shows the incremental property: an
+// identical second sweep performs zero simulations and completes
+// near-instantly with a bit-identical result.
 //
 //	go run ./examples/ssd_simulation
 package main
@@ -14,6 +18,8 @@ import (
 	"context"
 	"fmt"
 	"log"
+	"reflect"
+	"time"
 
 	"readretry"
 )
@@ -26,19 +32,35 @@ func main() {
 	cfg.Conditions = []readretry.SweepCondition{{PEC: 2000, Months: 6}}
 	cfg.Requests = 3000
 	cfg.Parallelism = 0 // GOMAXPROCS workers
-
-	res, err := readretry.RunSweep(context.Background(), cfg, readretry.Figure14Variants())
-	if err != nil {
-		log.Fatal(err)
-	}
+	cfg.Cache = readretry.NewSweepCache()
 
 	fmt.Printf("YCSB-C, %d requests, device aged to (2K P/E, 6 months):\n\n", cfg.Requests)
 	fmt.Printf("  %-9s %12s %12s %12s %12s\n",
 		"config", "mean resp", "mean read", "p99 read", "vs Baseline")
-	for _, c := range res.Cells {
+	cfg.Sink = readretry.SweepCellSinkFunc(func(c readretry.SweepCell, index, total int) error {
 		fmt.Printf("  %-9s %10.0fus %10.0fus %10.0fus %11.1f%%\n",
 			c.Config, c.Mean, c.MeanRead, c.P99Read, (1-c.Normalized)*100)
+		return nil
+	})
+
+	start := time.Now()
+	cold, err := readretry.RunSweep(context.Background(), cfg, readretry.Figure14Variants())
+	if err != nil {
+		log.Fatal(err)
 	}
+	coldTook := time.Since(start)
+
+	// Re-run the identical grid: every cell is served from the cache, so
+	// no simulation (and no trace generation) happens at all.
+	cfg.Sink = nil
+	start = time.Now()
+	warm, err := readretry.RunSweep(context.Background(), cfg, readretry.Figure14Variants())
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\ncold sweep: %v; cached re-run: %v (zero simulations, identical: %v)\n",
+		coldTook.Round(time.Millisecond), time.Since(start).Round(time.Millisecond),
+		reflect.DeepEqual(cold.Cells, warm.Cells))
 
 	fmt.Println("\nPnAR2 combines PR2's pipelining with AR2's shorter sensing;")
 	fmt.Println("NoRR shows the remaining headroom an ideal no-retry SSD would have.")

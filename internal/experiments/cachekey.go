@@ -1,0 +1,35 @@
+package experiments
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+)
+
+// cacheKeySchema versions the key derivation. Bump it whenever the cached
+// payload or the meaning of a hashed field changes, so an on-disk tier
+// written by an older engine can never satisfy a newer lookup.
+const cacheKeySchema = "readretry-cell-v1"
+
+// cellKey derives the content address of one sweep cell: a lowercase hex
+// SHA-256 over everything the cell's measurement is a function of —
+// the workload name, the operating condition, the variant's behavior
+// (scheme and PSO; the display Name is deliberately excluded, so renaming
+// a column keeps its cells), the trace shape (Seed, Requests, IOPS), and
+// the full device template. The device config is folded in via its JSON
+// encoding, which is deterministic for ssd.Config's plain value fields;
+// any field change — geometry, timing, ECC, model params, scheduler
+// toggles — therefore changes the key.
+func cellKey(cfg Config, wl string, cond Condition, v Variant) (string, error) {
+	dev, err := json.Marshal(cfg.Base)
+	if err != nil {
+		return "", fmt.Errorf("experiments: hashing device config: %w", err)
+	}
+	h := sha256.New()
+	fmt.Fprintf(h, "%s\x00%s\x00%d\x00%g\x00%d\x00%t\x00%d\x00%d\x00%g\x00",
+		cacheKeySchema, wl, cond.PEC, cond.Months, v.Scheme, v.PSO,
+		cfg.Seed, cfg.Requests, cfg.IOPS)
+	h.Write(dev)
+	return hex.EncodeToString(h.Sum(nil)), nil
+}

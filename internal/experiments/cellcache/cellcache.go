@@ -1,0 +1,151 @@
+// Package cellcache is the content-addressed per-cell result cache behind
+// the sweep engine: each (workload, condition, variant, seed, device
+// config) cell of a Figure 14/15-style grid maps to a stable key (derived
+// by internal/experiments), and the cache stores the cell's *raw*
+// measurement under it. Normalized values are deliberately excluded — they
+// depend on which other cells share the grid, so the engine always
+// recomputes them — which makes a cached measurement valid in any grid
+// that happens to contain the same cell.
+//
+// Two tiers are provided. Memory is a process-lifetime map; Disk layers
+// the same map over a directory of one-file-per-cell JSON entries, so a
+// re-run of a grown grid only simulates cells it has never seen (a second
+// identical run performs zero simulations). Both are safe for concurrent
+// use by the engine's worker pool.
+package cellcache
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+)
+
+// Measurement is the raw (normalization-free) result of one simulated
+// sweep cell, in the engine's native units (µs latencies, mean retry
+// steps).
+type Measurement struct {
+	Mean       float64 `json:"mean_us"`
+	MeanRead   float64 `json:"mean_read_us"`
+	P99Read    float64 `json:"p99_read_us"`
+	RetrySteps float64 `json:"retry_steps"`
+}
+
+// Cache stores cell measurements under content-addressed keys. The engine
+// derives keys as lowercase hex SHA-256 digests; implementations may
+// reject other shapes (the disk tier refuses anything that is not a safe
+// file name). Implementations must be safe for concurrent use.
+type Cache interface {
+	// Get returns the measurement stored under key, if any.
+	Get(key string) (Measurement, bool)
+	// Put stores m under key, replacing any previous entry. Storage
+	// failures are treated as cache misses on a later Get, never as
+	// sweep errors, so Put reports nothing.
+	Put(key string, m Measurement)
+}
+
+// memory is the in-process tier: a plain map under an RWMutex.
+type memory struct {
+	mu sync.RWMutex
+	m  map[string]Measurement
+}
+
+// Memory returns an empty in-memory cache. It lives as long as the
+// process; use Disk to persist across runs.
+func Memory() Cache { return &memory{m: make(map[string]Measurement)} }
+
+func (c *memory) Get(key string) (Measurement, bool) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	m, ok := c.m[key]
+	return m, ok
+}
+
+func (c *memory) Put(key string, m Measurement) {
+	c.mu.Lock()
+	c.m[key] = m
+	c.mu.Unlock()
+}
+
+// disk is the persistent tier: one JSON file per key under dir, fronted
+// by a memory tier so repeated lookups within a run never touch the
+// filesystem twice.
+type disk struct {
+	dir string
+	mem memory
+}
+
+// Disk returns a cache persisted under dir (created if absent), fronted
+// by an in-memory tier. Entries are one JSON file per cell named by the
+// key; writes go through a temp file + rename so a crashed run never
+// leaves a torn entry, and unreadable or corrupt entries degrade to
+// misses.
+func Disk(dir string) (Cache, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("cellcache: %w", err)
+	}
+	return &disk{dir: dir, mem: memory{m: make(map[string]Measurement)}}, nil
+}
+
+// validKey accepts exactly the keys the engine derives — non-empty
+// hex/alphanumeric names that cannot traverse out of dir.
+func validKey(key string) bool {
+	if key == "" || len(key) > 128 {
+		return false
+	}
+	for _, r := range key {
+		switch {
+		case r >= '0' && r <= '9', r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z',
+			r == '-', r == '_':
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+func (c *disk) path(key string) string { return filepath.Join(c.dir, key+".json") }
+
+func (c *disk) Get(key string) (Measurement, bool) {
+	if m, ok := c.mem.Get(key); ok {
+		return m, true
+	}
+	if !validKey(key) {
+		return Measurement{}, false
+	}
+	data, err := os.ReadFile(c.path(key))
+	if err != nil {
+		return Measurement{}, false
+	}
+	var m Measurement
+	if err := json.Unmarshal(data, &m); err != nil {
+		return Measurement{}, false
+	}
+	c.mem.Put(key, m)
+	return m, true
+}
+
+func (c *disk) Put(key string, m Measurement) {
+	c.mem.Put(key, m)
+	if !validKey(key) {
+		return
+	}
+	data, err := json.Marshal(m)
+	if err != nil {
+		return
+	}
+	tmp, err := os.CreateTemp(c.dir, key+".tmp*")
+	if err != nil {
+		return
+	}
+	_, werr := tmp.Write(data)
+	cerr := tmp.Close()
+	if werr != nil || cerr != nil {
+		os.Remove(tmp.Name())
+		return
+	}
+	if err := os.Rename(tmp.Name(), c.path(key)); err != nil {
+		os.Remove(tmp.Name())
+	}
+}

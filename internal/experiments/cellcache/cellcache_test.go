@@ -1,0 +1,126 @@
+package cellcache
+
+import (
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+)
+
+var sample = Measurement{Mean: 123.4, MeanRead: 101.5, P99Read: 987.6, RetrySteps: 7.25}
+
+const key = "0a1b2c3d4e5f60718293a4b5c6d7e8f90a1b2c3d4e5f60718293a4b5c6d7e8f9"
+
+func TestMemoryRoundTrip(t *testing.T) {
+	c := Memory()
+	if _, ok := c.Get(key); ok {
+		t.Fatal("empty cache reported a hit")
+	}
+	c.Put(key, sample)
+	got, ok := c.Get(key)
+	if !ok || got != sample {
+		t.Fatalf("Get = %+v, %v; want %+v, true", got, ok, sample)
+	}
+	over := sample
+	over.Mean = 1
+	c.Put(key, over)
+	if got, _ := c.Get(key); got != over {
+		t.Fatalf("Put did not overwrite: %+v", got)
+	}
+}
+
+func TestDiskPersistsAcrossInstances(t *testing.T) {
+	dir := t.TempDir()
+	c1, err := Disk(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c1.Put(key, sample)
+
+	c2, err := Disk(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, ok := c2.Get(key)
+	if !ok || got != sample {
+		t.Fatalf("fresh instance Get = %+v, %v; want %+v, true", got, ok, sample)
+	}
+}
+
+func TestDiskCorruptEntryIsAMiss(t *testing.T) {
+	dir := t.TempDir()
+	c, err := Disk(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, key+".json"), []byte("{torn"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := c.Get(key); ok {
+		t.Fatal("corrupt entry reported a hit")
+	}
+}
+
+func TestDiskRejectsUnsafeKeys(t *testing.T) {
+	dir := t.TempDir()
+	c, err := Disk(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, bad := range []string{"", "../escape", "a/b", "a.b", "x y"} {
+		c.Put(bad, sample) // must not create files outside dir or panic
+		if _, ok := c.Get(bad); bad != "" && ok {
+			// The memory tier may still serve it, but it must not have
+			// come from disk on a fresh instance.
+			c2, err := Disk(dir)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if _, ok := c2.Get(bad); ok {
+				t.Errorf("unsafe key %q round-tripped through disk", bad)
+			}
+		}
+	}
+	if _, err := os.Stat(filepath.Join(filepath.Dir(dir), "escape.json")); err == nil {
+		t.Fatal("unsafe key escaped the cache directory")
+	}
+}
+
+func TestDiskCreatesDirectory(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "nested", "cache")
+	c, err := Disk(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Put(key, sample)
+	if _, err := os.Stat(filepath.Join(dir, key+".json")); err != nil {
+		t.Fatalf("entry not on disk: %v", err)
+	}
+}
+
+func TestConcurrentAccess(t *testing.T) {
+	d, err := Disk(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, c := range map[string]Cache{"memory": Memory(), "disk": d} {
+		c := c
+		t.Run(name, func(t *testing.T) {
+			var wg sync.WaitGroup
+			for i := 0; i < 8; i++ {
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					for j := 0; j < 50; j++ {
+						c.Put(key, sample)
+						c.Get(key)
+					}
+				}()
+			}
+			wg.Wait()
+			if got, ok := c.Get(key); !ok || got != sample {
+				t.Fatalf("post-race Get = %+v, %v", got, ok)
+			}
+		})
+	}
+}

@@ -14,6 +14,7 @@ import (
 	"strings"
 
 	"readretry/internal/core"
+	"readretry/internal/experiments/cellcache"
 	"readretry/internal/mathx"
 	"readretry/internal/ssd"
 	"readretry/internal/trace"
@@ -26,9 +27,13 @@ type Condition struct {
 	Months float64
 }
 
-// String formats the condition as the figures label it.
+// String formats the condition as the figures label it: the PEC in
+// thousands with "K" ("2K/6mo"). The kilocycle value renders exactly —
+// 500 is "0.5K", 1500 is "1.5K" — so distinct conditions always produce
+// distinct labels (integer division here used to truncate any PEC that
+// was not a multiple of 1000, collapsing e.g. 500 and 999 into "0K").
 func (c Condition) String() string {
-	return fmt.Sprintf("%dK/%gmo", c.PEC/1000, c.Months)
+	return fmt.Sprintf("%gK/%gmo", float64(c.PEC)/1000, c.Months)
 }
 
 // Config parameterizes a sweep.
@@ -52,6 +57,21 @@ type Config struct {
 	// the running count and the grid total. Calls are serialized and
 	// done is strictly increasing.
 	Progress func(done, total int)
+	// Sink, when non-nil, receives every cell in canonical order as its
+	// (workload, condition) stripe completes — normalized, with its grid
+	// index — so consumers can stream output (see CSVSink) instead of
+	// waiting for the Result. A sink error aborts the sweep.
+	Sink CellSink
+	// Cache, when non-nil, is consulted before simulating each cell (by
+	// a content-addressed key over the workload, condition, variant
+	// behavior, seed, trace shape, and device config) and filled after
+	// each miss. A warm cache run performs zero simulations and zero
+	// trace generations; results are bit-identical with or without it.
+	Cache cellcache.Cache
+
+	// simHook, when non-nil, observes every actual simulation (cache
+	// hits excluded). Tests inject it to assert cache effectiveness.
+	simHook func()
 }
 
 // DefaultConfig returns the full Figure 14/15 sweep at experiment scale.
@@ -81,13 +101,16 @@ func QuickConfig() Config {
 // Cell is one bar of Figure 14/15: a (workload, condition, configuration)
 // measurement.
 type Cell struct {
-	Workload   string
-	Cond       Condition
-	Config     string  // "Baseline", "PR2", …, "PSO", "PSO+PnAR2"
-	Mean       float64 // mean response time, µs
-	MeanRead   float64
-	P99Read    float64 // 99th-percentile read response time, µs
-	Normalized float64 // Mean / Baseline's Mean at the same (workload, cond)
+	Workload string
+	Cond     Condition
+	Config   string  // "Baseline", "PR2", …, "PSO", "PSO+PnAR2"
+	Mean     float64 // mean response time, µs
+	MeanRead float64
+	P99Read  float64 // 99th-percentile read response time, µs
+	// Normalized is Mean over the reference (Baseline) Mean at the same
+	// (workload, cond), or 0 when the stripe has no reference cell or
+	// the reference measured a zero mean (normalization undefined).
+	Normalized float64
 	RetrySteps float64 // mean N_RR observed
 }
 
@@ -114,6 +137,9 @@ func traceFor(cfg Config, name string) ([]trace.Record, error) {
 
 // runOne executes a single (workload, condition, scheme) simulation.
 func runOne(cfg Config, recs []trace.Record, cond Condition, scheme core.Scheme, usePSO bool) (*ssd.Stats, error) {
+	if cfg.simHook != nil {
+		cfg.simHook()
+	}
 	devCfg := cfg.Base
 	devCfg.Scheme = scheme
 	devCfg.UsePSO = usePSO
@@ -152,6 +178,25 @@ func (r *Result) cells(config string) []Cell {
 	return out
 }
 
+// condKey identifies one (workload, condition) pair exactly. The summary
+// statistics below index reference means by it; the concatenated-string
+// key they previously used ("a" + "11K/2mo" vs "a1" + "1K/2mo") could
+// collide across distinct pairs and silently mix up reference values.
+type condKey struct {
+	wl   string
+	cond Condition
+}
+
+// meansBy indexes a configuration's mean response times by exact
+// (workload, condition).
+func (r *Result) meansBy(config string) map[condKey]float64 {
+	m := make(map[condKey]float64)
+	for _, c := range r.cells(config) {
+		m[condKey{c.Workload, c.Cond}] = c.Mean
+	}
+	return m
+}
+
 // Reduction returns the response-time reduction of config vs the reference
 // configuration across matching cells: (avg, max), both as fractions.
 func (r *Result) Reduction(config, reference string, readDominantOnly bool) (avg, max float64) {
@@ -166,17 +211,14 @@ func (r *Result) Reduction(config, reference string, readDominantOnly bool) (avg
 // ReductionWhere is Reduction restricted to workloads matching the filter
 // (e.g. the paper's read-dominant / write-dominant split in §7.3).
 func (r *Result) ReductionWhere(config, reference string, keep func(workload.Spec) bool) (avg, max float64) {
-	ref := map[string]float64{}
-	for _, c := range r.cells(reference) {
-		ref[c.Workload+c.Cond.String()] = c.Mean
-	}
+	ref := r.meansBy(reference)
 	var stats mathx.Running
 	for _, c := range r.cells(config) {
 		spec, err := workload.ByName(c.Workload)
 		if err != nil || !keep(spec) {
 			continue
 		}
-		base, ok := ref[c.Workload+c.Cond.String()]
+		base, ok := ref[condKey{c.Workload, c.Cond}]
 		if !ok || base == 0 {
 			continue
 		}
@@ -188,10 +230,7 @@ func (r *Result) ReductionWhere(config, reference string, keep func(workload.Spe
 // RatioToNoRR returns the average ratio of config's response time to the
 // ideal NoRR device (the paper's "2.37× NoRR" style statistics).
 func (r *Result) RatioToNoRR(config string, readDominantOnly bool) float64 {
-	ideal := map[string]float64{}
-	for _, c := range r.cells("NoRR") {
-		ideal[c.Workload+c.Cond.String()] = c.Mean
-	}
+	ideal := r.meansBy("NoRR")
 	var stats mathx.Running
 	for _, c := range r.cells(config) {
 		if readDominantOnly {
@@ -200,7 +239,7 @@ func (r *Result) RatioToNoRR(config string, readDominantOnly bool) float64 {
 				continue
 			}
 		}
-		id := ideal[c.Workload+c.Cond.String()]
+		id := ideal[condKey{c.Workload, c.Cond}]
 		if id > 0 {
 			stats.Add(c.Mean / id)
 		}
@@ -211,17 +250,11 @@ func (r *Result) RatioToNoRR(config string, readDominantOnly bool) float64 {
 // GapClosed returns how much of the Baseline→NoRR response-time gap the
 // configuration closes on average (§7.2 reports 41 % for PnAR²).
 func (r *Result) GapClosed(config string) float64 {
-	base := map[string]float64{}
-	for _, c := range r.cells("Baseline") {
-		base[c.Workload+c.Cond.String()] = c.Mean
-	}
-	ideal := map[string]float64{}
-	for _, c := range r.cells("NoRR") {
-		ideal[c.Workload+c.Cond.String()] = c.Mean
-	}
+	base := r.meansBy("Baseline")
+	ideal := r.meansBy("NoRR")
 	var stats mathx.Running
 	for _, c := range r.cells(config) {
-		key := c.Workload + c.Cond.String()
+		key := condKey{c.Workload, c.Cond}
 		b, i := base[key], ideal[key]
 		if b <= i {
 			continue
@@ -234,18 +267,13 @@ func (r *Result) GapClosed(config string) float64 {
 // ReductionAt returns config's average reduction vs reference restricted to
 // one condition (the paper quotes (2K, 6 mo)).
 func (r *Result) ReductionAt(config, reference string, cond Condition) float64 {
-	ref := map[string]float64{}
-	for _, c := range r.cells(reference) {
-		if c.Cond == cond {
-			ref[c.Workload] = c.Mean
-		}
-	}
+	ref := r.meansBy(reference)
 	var stats mathx.Running
 	for _, c := range r.cells(config) {
 		if c.Cond != cond {
 			continue
 		}
-		if base, ok := ref[c.Workload]; ok && base > 0 {
+		if base, ok := ref[condKey{c.Workload, cond}]; ok && base > 0 {
 			stats.Add(1 - c.Mean/base)
 		}
 	}
@@ -304,16 +332,15 @@ func workloadOrder(name string) int {
 
 // WriteCSV emits the raw cells as CSV (one measurement per row) for
 // external plotting: workload, pec, months, config, mean_us, mean_read_us,
-// p99_read_us, normalized, retry_steps.
+// p99_read_us, normalized, retry_steps. It shares its header and row
+// formatting with the streaming CSVSink, whose output is byte-identical
+// for the same grid.
 func (r *Result) WriteCSV(w io.Writer) error {
-	if _, err := fmt.Fprintln(w,
-		"workload,pec,months,config,mean_us,mean_read_us,p99_read_us,normalized,retry_steps"); err != nil {
+	if _, err := fmt.Fprintln(w, csvHeader); err != nil {
 		return err
 	}
 	for _, c := range r.Cells {
-		if _, err := fmt.Fprintf(w, "%s,%d,%g,%s,%.2f,%.2f,%.2f,%.4f,%.2f\n",
-			c.Workload, c.Cond.PEC, c.Cond.Months, c.Config,
-			c.Mean, c.MeanRead, c.P99Read, c.Normalized, c.RetrySteps); err != nil {
+		if err := writeCSVRow(w, c); err != nil {
 			return err
 		}
 	}

@@ -122,6 +122,54 @@ func TestConditionString(t *testing.T) {
 	}
 }
 
+func TestConditionStringRendersExactPEC(t *testing.T) {
+	// %d over PEC/1000 used to truncate: 500 → "0K", 1500 → "1K",
+	// making distinct conditions indistinguishable in tables and CSV.
+	for _, tc := range []struct {
+		cond Condition
+		want string
+	}{
+		{Condition{PEC: 500, Months: 1}, "0.5K/1mo"},
+		{Condition{PEC: 1500, Months: 3}, "1.5K/3mo"},
+		{Condition{PEC: 999, Months: 0}, "0.999K/0mo"},
+		{Condition{PEC: 0, Months: 12}, "0K/12mo"},
+		{Condition{PEC: 2000, Months: 0.5}, "2K/0.5mo"},
+	} {
+		if got := tc.cond.String(); got != tc.want {
+			t.Errorf("%+v.String() = %q, want %q", tc.cond, got, tc.want)
+		}
+	}
+	if (Condition{PEC: 500, Months: 1}).String() == (Condition{PEC: 999, Months: 1}).String() {
+		t.Error("distinct PECs render identically")
+	}
+}
+
+func TestSummaryStatisticsKeyExactly(t *testing.T) {
+	// Under the old concatenated-string key, ("a", 11K) and ("a1", 1K)
+	// both mapped to "a11K/0mo", so one pair's reference mean silently
+	// overwrote the other's. The struct key must keep them apart.
+	res := &Result{
+		Cells: []Cell{
+			{Workload: "a", Cond: Condition{PEC: 11000}, Config: "Baseline", Mean: 100},
+			{Workload: "a", Cond: Condition{PEC: 11000}, Config: "X", Mean: 50},
+			{Workload: "a", Cond: Condition{PEC: 11000}, Config: "NoRR", Mean: 10},
+			{Workload: "a1", Cond: Condition{PEC: 1000}, Config: "Baseline", Mean: 1000},
+			{Workload: "a1", Cond: Condition{PEC: 1000}, Config: "X", Mean: 100},
+			{Workload: "a1", Cond: Condition{PEC: 1000}, Config: "NoRR", Mean: 100},
+		},
+		Configs: []string{"Baseline", "X", "NoRR"},
+	}
+	// Ratios to NoRR: 50/10 = 5 and 100/100 = 1; mean 3.
+	if got := res.RatioToNoRR("X", false); got != 3 {
+		t.Errorf("RatioToNoRR = %v, want 3 (keys collided?)", got)
+	}
+	// Gap closed: (100-50)/(100-10) = 5/9 and (1000-100)/(1000-100) = 1.
+	want := (5.0/9 + 1) / 2
+	if got := res.GapClosed("X"); got != want {
+		t.Errorf("GapClosed = %v, want %v (keys collided?)", got, want)
+	}
+}
+
 func TestRenderProducesTable(t *testing.T) {
 	res := fig14(t)
 	var sb strings.Builder

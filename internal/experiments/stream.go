@@ -1,0 +1,118 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"sync"
+)
+
+// CellSink receives completed sweep cells. The engine guarantees canonical
+// order — a sink observes exactly the sequence Result.Cells holds, one
+// call per cell with its grid index and the grid total — regardless of the
+// Parallelism setting, by re-sequencing out-of-order completions
+// internally (cells are released stripe-by-stripe, once their
+// (workload, condition) stripe is fully measured and normalized). A
+// non-nil error aborts the sweep.
+//
+// CellSink generalizes Config.Progress: Progress observes *completion
+// counts* as they happen (unordered), a sink observes *the cells
+// themselves* in canonical order. Calls are serialized; implementations
+// need no locking of their own.
+type CellSink interface {
+	Cell(c Cell, index, total int) error
+}
+
+// CellSinkFunc adapts a function to a CellSink.
+type CellSinkFunc func(c Cell, index, total int) error
+
+// Cell implements CellSink.
+func (f CellSinkFunc) Cell(c Cell, index, total int) error { return f(c, index, total) }
+
+// csvHeader is the one header row both CSV paths emit.
+const csvHeader = "workload,pec,months,config,mean_us,mean_read_us,p99_read_us,normalized,retry_steps"
+
+// writeCSVRow formats one cell exactly as Result.WriteCSV does; the
+// streaming and buffered encoders share it so their output is
+// byte-identical.
+func writeCSVRow(w io.Writer, c Cell) error {
+	_, err := fmt.Fprintf(w, "%s,%d,%g,%s,%.2f,%.2f,%.2f,%.4f,%.2f\n",
+		c.Workload, c.Cond.PEC, c.Cond.Months, c.Config,
+		c.Mean, c.MeanRead, c.P99Read, c.Normalized, c.RetrySteps)
+	return err
+}
+
+// CSVSink streams sweep cells as CSV rows the moment the engine releases
+// them, instead of materializing a Result first. For the same grid its
+// output is byte-identical to Result.WriteCSV at every parallelism
+// setting.
+type CSVSink struct {
+	w io.Writer
+}
+
+// NewCSVSink writes the CSV header to w and returns a sink that appends
+// one row per cell.
+func NewCSVSink(w io.Writer) (*CSVSink, error) {
+	if _, err := fmt.Fprintln(w, csvHeader); err != nil {
+		return nil, err
+	}
+	return &CSVSink{w: w}, nil
+}
+
+// Cell implements CellSink.
+func (s *CSVSink) Cell(c Cell, index, total int) error { return writeCSVRow(s.w, c) }
+
+// resequencer restores canonical order between the worker pool and the
+// sink: workers deliver cells at arbitrary grid indices, and the
+// resequencer releases whole stripes — normalized, in index order — as
+// soon as every earlier stripe has been released. It also backfills
+// Result.Cells, so the buffered and streaming views are the same data.
+type resequencer struct {
+	mu        sync.Mutex
+	cells     []Cell // the Result's backing slice, filled in place
+	stride    int    // cells per (workload, condition) stripe
+	filled    []int  // completed-cell count per stripe
+	next      int    // first stripe not yet released
+	reference string // normalization column
+	sink      CellSink
+	sinkErr   error // latched first sink failure; stops all further emission
+}
+
+func newResequencer(cells []Cell, stride int, reference string, sink CellSink) *resequencer {
+	return &resequencer{
+		cells:     cells,
+		stride:    stride,
+		filled:    make([]int, len(cells)/stride),
+		reference: reference,
+		sink:      sink,
+	}
+}
+
+// complete records the measured cell at grid index idx and releases every
+// stripe that is now contiguous with the released prefix. The first sink
+// error is latched — later completions (from workers already in flight
+// when the sweep starts aborting) must not re-emit the failed stripe's
+// prefix — and returned wrapped; the caller aborts the sweep.
+func (r *resequencer) complete(idx int, c Cell) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.cells[idx] = c
+	r.filled[idx/r.stride]++
+	if r.sinkErr != nil {
+		return r.sinkErr
+	}
+	for r.next < len(r.filled) && r.filled[r.next] == r.stride {
+		base := r.next * r.stride
+		stripe := r.cells[base : base+r.stride]
+		normalizeStripe(stripe, r.reference)
+		if r.sink != nil {
+			for i := range stripe {
+				if err := r.sink.Cell(stripe[i], base+i, len(r.cells)); err != nil {
+					r.sinkErr = fmt.Errorf("experiments: cell sink: %w", err)
+					return r.sinkErr
+				}
+			}
+		}
+		r.next++
+	}
+	return nil
+}

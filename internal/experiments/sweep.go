@@ -8,6 +8,7 @@ import (
 	"sync"
 
 	"readretry/internal/core"
+	"readretry/internal/experiments/cellcache"
 	"readretry/internal/trace"
 	"readretry/internal/workload"
 )
@@ -59,9 +60,23 @@ type sharedTrace struct {
 // a worker pool bounded by cfg.Parallelism (0 selects runtime.GOMAXPROCS).
 // Each workload's trace is generated once and shared by all of its cells.
 // Normalization against the reference variant (the one named "Baseline", or
-// the first variant if none is) is computed after all cells are collected,
-// so the result does not depend on execution order: for a fixed cfg the
-// parallel result is bit-identical to the serial one.
+// the first variant if none is) is computed per (workload, condition)
+// stripe as the stripe completes, so the result does not depend on
+// execution order: for a fixed cfg the parallel result is bit-identical to
+// the serial one.
+//
+// The engine is a streaming pipeline: when cfg.Sink is set, completed
+// cells are released to it in canonical order (an internal resequencer
+// holds out-of-order completions until their stripe is contiguous with
+// the released prefix), so consumers such as the streaming CSV encoder
+// observe exactly the rows a buffered Result.WriteCSV would write while
+// the sweep is still running, and need no grid-sized buffering of their
+// own (the engine itself still materializes the returned Result). When
+// cfg.Cache is
+// set, each cell is looked up by its content address first and only
+// simulated on a miss (the measurement is stored back after simulating),
+// so re-running a grown grid simulates just the new cells and a second
+// identical run performs zero simulations.
 //
 // ctx cancels the sweep: in-flight simulations finish, queued cells are
 // abandoned, and the context's error is returned. cfg.Progress, when set,
@@ -106,6 +121,7 @@ func RunSweep(ctx context.Context, cfg Config, variants []Variant) (*Result, err
 	ctx, cancel := context.WithCancel(ctx)
 	defer cancel()
 
+	seq := newResequencer(res.Cells, len(variants), referenceVariant(variants), cfg.Sink)
 	traces := make([]sharedTrace, len(wls))
 	jobs := make(chan int)
 	var (
@@ -133,24 +149,50 @@ func RunSweep(ctx context.Context, cfg Config, variants []Variant) (*Result, err
 			wi := idx / cellsPerWorkload
 			ci := idx % cellsPerWorkload / len(variants)
 			vi := idx % len(variants)
-
-			tr := &traces[wi]
-			tr.once.Do(func() { tr.recs, tr.err = traceFor(cfg, wls[wi]) })
-			if tr.err != nil {
-				fail(tr.err)
-				return
-			}
 			v := variants[vi]
-			st, err := runOne(cfg, tr.recs, conds[ci], v.Scheme, v.PSO)
-			if err != nil {
-				fail(fmt.Errorf("%s %v %s: %w", wls[wi], conds[ci], v.Name, err))
-				return
+
+			cell := Cell{Workload: wls[wi], Cond: conds[ci], Config: v.Name}
+			var key string
+			hit := false
+			if cfg.Cache != nil {
+				var err error
+				key, err = cellKey(cfg, wls[wi], conds[ci], v)
+				if err != nil {
+					fail(err)
+					return
+				}
+				if m, ok := cfg.Cache.Get(key); ok {
+					cell.Mean, cell.MeanRead = m.Mean, m.MeanRead
+					cell.P99Read, cell.RetrySteps = m.P99Read, m.RetrySteps
+					hit = true
+				}
 			}
-			res.Cells[idx] = Cell{
-				Workload: wls[wi], Cond: conds[ci], Config: v.Name,
-				Mean: st.MeanAll(), MeanRead: st.MeanRead(),
-				P99Read:    st.ReadPercentile(99),
-				RetrySteps: st.MeanRetrySteps(),
+			if !hit {
+				// Only misses need the workload's trace; a fully warm
+				// run generates none at all.
+				tr := &traces[wi]
+				tr.once.Do(func() { tr.recs, tr.err = traceFor(cfg, wls[wi]) })
+				if tr.err != nil {
+					fail(tr.err)
+					return
+				}
+				st, err := runOne(cfg, tr.recs, conds[ci], v.Scheme, v.PSO)
+				if err != nil {
+					fail(fmt.Errorf("%s %v %s: %w", wls[wi], conds[ci], v.Name, err))
+					return
+				}
+				cell.Mean, cell.MeanRead = st.MeanAll(), st.MeanRead()
+				cell.P99Read, cell.RetrySteps = st.ReadPercentile(99), st.MeanRetrySteps()
+				if cfg.Cache != nil {
+					cfg.Cache.Put(key, cellcache.Measurement{
+						Mean: cell.Mean, MeanRead: cell.MeanRead,
+						P99Read: cell.P99Read, RetrySteps: cell.RetrySteps,
+					})
+				}
+			}
+			if err := seq.complete(idx, cell); err != nil {
+				fail(err)
+				return
 			}
 			mu.Lock()
 			done++
@@ -182,8 +224,6 @@ feed:
 	if err := ctx.Err(); err != nil {
 		return nil, fmt.Errorf("experiments: sweep canceled after %d/%d cells: %w", done, total, err)
 	}
-
-	normalize(res.Cells, variants, referenceVariant(variants))
 	return res, nil
 }
 
@@ -198,22 +238,27 @@ func referenceVariant(variants []Variant) string {
 	return variants[0].Name
 }
 
-// normalize fills Cell.Normalized post hoc. Cells arrive in canonical order,
-// so each (workload, condition) stripe is a contiguous run of len(variants)
-// cells containing exactly one reference measurement.
-func normalize(cells []Cell, variants []Variant, reference string) {
-	stride := len(variants)
-	for base := 0; base < len(cells); base += stride {
-		stripe := cells[base : base+stride]
-		var ref float64
-		for _, c := range stripe {
-			if c.Config == reference {
-				ref = c.Mean
-				break
-			}
+// normalizeStripe fills Cell.Normalized for one (workload, condition)
+// stripe: each cell's Mean over the reference variant's Mean. A stripe
+// whose reference cell is absent or measured a zero mean has no defined
+// normalization; every cell's Normalized is set to 0 (the documented
+// "not normalized" sentinel) rather than letting ±Inf or NaN flow into
+// Render and the CSV encoders.
+func normalizeStripe(stripe []Cell, reference string) {
+	var ref float64
+	for _, c := range stripe {
+		if c.Config == reference {
+			ref = c.Mean
+			break
 		}
+	}
+	if ref == 0 {
 		for i := range stripe {
-			stripe[i].Normalized = stripe[i].Mean / ref
+			stripe[i].Normalized = 0
 		}
+		return
+	}
+	for i := range stripe {
+		stripe[i].Normalized = stripe[i].Mean / ref
 	}
 }

@@ -29,12 +29,14 @@ package readretry
 
 import (
 	"context"
+	"io"
 
 	"readretry/internal/charz"
 	"readretry/internal/chip"
 	"readretry/internal/core"
 	"readretry/internal/ecc"
 	"readretry/internal/experiments"
+	"readretry/internal/experiments/cellcache"
 	"readretry/internal/nand"
 	"readretry/internal/rpt"
 	"readretry/internal/ssd"
@@ -232,7 +234,37 @@ type (
 	SweepCondition = experiments.Condition
 	// SweepVariant is one configuration column of a sweep.
 	SweepVariant = experiments.Variant
+	// SweepCell is one measured (workload, condition, configuration) cell.
+	SweepCell = experiments.Cell
+	// SweepCellSink receives cells in canonical order as the engine
+	// releases them (SweepConfig.Sink) — the streaming counterpart of
+	// consuming SweepResult.Cells after the fact.
+	SweepCellSink = experiments.CellSink
+	// SweepCellSinkFunc adapts a function to a SweepCellSink.
+	SweepCellSinkFunc = experiments.CellSinkFunc
+	// SweepCSVSink streams cells as CSV rows, byte-identical to
+	// SweepResult.WriteCSV for the same grid.
+	SweepCSVSink = experiments.CSVSink
+	// SweepCache is the content-addressed per-cell measurement cache
+	// RunSweep consults (SweepConfig.Cache): re-running a grown grid only
+	// simulates new cells.
+	SweepCache = cellcache.Cache
+	// SweepMeasurement is one cached raw cell measurement.
+	SweepMeasurement = cellcache.Measurement
 )
+
+// NewSweepCSVSink writes the CSV header to w and returns a sink that
+// streams one row per cell as the sweep releases it.
+func NewSweepCSVSink(w io.Writer) (*SweepCSVSink, error) { return experiments.NewCSVSink(w) }
+
+// NewSweepCache returns an in-memory per-cell cache, living as long as
+// the process.
+func NewSweepCache() SweepCache { return cellcache.Memory() }
+
+// NewDiskSweepCache returns a per-cell cache persisted under dir (created
+// if absent) with an in-memory tier on top: a second identical sweep —
+// even from a new process — performs zero simulations.
+func NewDiskSweepCache(dir string) (SweepCache, error) { return cellcache.Disk(dir) }
 
 // DefaultSweepConfig returns the full Figure 14/15 sweep.
 func DefaultSweepConfig() SweepConfig { return experiments.DefaultConfig() }
@@ -257,7 +289,11 @@ func Figure15Variants() []SweepVariant { return experiments.Figure15Variants() }
 // the parallel sweep engine: cells fan out over a worker pool bounded by
 // cfg.Parallelism, each workload's trace is generated once and shared, and
 // the result is bit-identical to a serial run of the same cfg. ctx cancels
-// the sweep; cfg.Progress observes completed cells.
+// the sweep; cfg.Progress observes completed cells. cfg.Sink streams the
+// cells themselves in canonical order as their stripes complete (see
+// NewSweepCSVSink), and cfg.Cache (see NewSweepCache, NewDiskSweepCache)
+// skips simulation for every cell whose content-addressed measurement is
+// already known.
 func RunSweep(ctx context.Context, cfg SweepConfig, variants []SweepVariant) (*SweepResult, error) {
 	return experiments.RunSweep(ctx, cfg, variants)
 }

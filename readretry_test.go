@@ -1,6 +1,9 @@
 package readretry_test
 
 import (
+	"bytes"
+	"context"
+	"reflect"
 	"testing"
 
 	"readretry"
@@ -69,6 +72,44 @@ func TestFacadeEndToEndSimulation(t *testing.T) {
 	}
 	if st.Completed != 600 {
 		t.Errorf("completed %d, want 600", st.Completed)
+	}
+}
+
+func TestFacadeStreamingCachedSweep(t *testing.T) {
+	cfg := readretry.QuickSweepConfig()
+	cfg.Workloads = []string{"YCSB-C"}
+	cfg.Conditions = []readretry.SweepCondition{{PEC: 2000, Months: 6}}
+	cfg.Requests = 400
+	cfg.Parallelism = 0
+	cfg.Cache = readretry.NewSweepCache()
+
+	var streamed bytes.Buffer
+	sink, err := readretry.NewSweepCSVSink(&streamed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Sink = sink
+	cold, err := readretry.RunSweep(context.Background(), cfg, readretry.Figure14Variants())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var buffered bytes.Buffer
+	if err := cold.WriteCSV(&buffered); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(streamed.Bytes(), buffered.Bytes()) {
+		t.Error("facade streaming CSV differs from buffered WriteCSV")
+	}
+
+	// Warm the same cache: identical result, served without simulating.
+	cfg.Sink = nil
+	warm, err := readretry.RunSweep(context.Background(), cfg, readretry.Figure14Variants())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(cold, warm) {
+		t.Error("cached facade re-run differs from the cold run")
 	}
 }
 
