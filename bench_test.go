@@ -13,6 +13,7 @@ import (
 	"testing"
 
 	"readretry/internal/charz"
+	"readretry/internal/chip"
 	"readretry/internal/core"
 	"readretry/internal/ecc"
 	"readretry/internal/experiments"
@@ -515,6 +516,82 @@ func BenchmarkLDPCSoftDecode(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
+}
+
+// BenchmarkReadPath measures the steady-state per-read cost of the chip
+// read stack (PR 3's tentpole target): one ReadRetry through the
+// condition-resident profile fast path versus the preserved direct-model
+// reference path. The fast sub-benchmark must stay ≥3× faster with ≤2
+// allocs/op (it is allocation-free); scripts/bench.sh records both in
+// BENCH_PR3.json.
+func BenchmarkReadPath(b *testing.B) {
+	bench := func(b *testing.B, fast bool) {
+		model := vth.NewModel(vth.DefaultParams(), 1)
+		geom := nand.DefaultGeometry()
+		c, err := chip.New(geom, nand.DefaultTiming(), model, 0)
+		if err != nil {
+			b.Fatal(err)
+		}
+		c.SetFastPath(fast)
+		c.SetCondition(2000, 12)
+		var reg nand.FeatureRegister
+		reg.Set(6, 0, 0)
+		c.SetFeature(reg)
+		addrs := make([]nand.Address, 64)
+		for i := range addrs {
+			addrs[i] = nand.Address{
+				Plane: i % geom.PlanesPerDie,
+				Block: (i * 37) % geom.BlocksPerPlane,
+				Page:  (i * 11) % geom.PagesPerBlock,
+			}
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		steps := 0
+		for i := 0; i < b.N; i++ {
+			steps += c.ReadRetry(addrs[i%len(addrs)], 30).RetrySteps
+		}
+		_ = steps
+	}
+	b.Run("fast", func(b *testing.B) { bench(b, true) })
+	b.Run("slow", func(b *testing.B) { bench(b, false) })
+}
+
+// BenchmarkSweepCell measures one full Figure 14 sweep cell at default
+// evaluation scale (2,500 requests against the experiment-scale device) —
+// the unit of work the sweep engine fans out — through the fast and
+// reference read paths.
+func BenchmarkSweepCell(b *testing.B) {
+	bench := func(b *testing.B, fast bool) {
+		cfg := ssd.ExperimentConfig()
+		cfg.PEC, cfg.RetentionMonths = 2000, 12
+		cfg.Scheme = core.PnAR2
+		cfg.DisableReadFastPath = !fast
+		spec, err := workload.ByName("YCSB-C")
+		if err != nil {
+			b.Fatal(err)
+		}
+		spec.FootprintPages = cfg.TotalPages() * 6 / 10
+		spec.AvgIOPS = 1200 / spec.AvgPagesPerRequest()
+		recs := workload.NewGenerator(spec, 7).Generate(2500)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			dev, err := ssd.New(cfg)
+			if err != nil {
+				b.Fatal(err)
+			}
+			st, err := dev.Run(recs)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if i == 0 {
+				b.ReportMetric(st.MeanRetrySteps(), "mean_nrr")
+			}
+		}
+	}
+	b.Run("fast", func(b *testing.B) { bench(b, true) })
+	b.Run("slow", func(b *testing.B) { bench(b, false) })
 }
 
 func BenchmarkVthModelRead(b *testing.B) {

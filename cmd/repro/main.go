@@ -17,6 +17,8 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 
 	"readretry/internal/charz"
@@ -41,6 +43,8 @@ var (
 	progress = flag.Bool("progress", true, "report sweep progress on stderr")
 	csvDir   = flag.String("csv", "", "directory to stream per-figure sweep CSVs into (fig14.csv, fig15.csv), written row-by-row as cells complete")
 	cacheDir = flag.String("cache-dir", "", "per-cell sweep cache directory: re-runs only simulate cells not already cached")
+	cpuProf  = flag.String("cpuprofile", "", "write a CPU profile to this file (pprof format), so perf work can attribute wins")
+	memProf  = flag.String("memprofile", "", "write a heap profile to this file at exit (pprof format)")
 )
 
 // csvSinkFor opens dir/<name>.csv for streaming when -csv is set; the
@@ -91,6 +95,35 @@ func header(s string) {
 
 func main() {
 	flag.Parse()
+	if *cpuProf != "" {
+		f, err := os.Create(*cpuProf)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "repro: cpuprofile: %v\n", err)
+			os.Exit(1)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "repro: cpuprofile: %v\n", err)
+			os.Exit(1)
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		}()
+	}
+	if *memProf != "" {
+		defer func() {
+			f, err := os.Create(*memProf)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "repro: memprofile: %v\n", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // settle live heap before the snapshot
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintf(os.Stderr, "repro: memprofile: %v\n", err)
+			}
+		}()
+	}
 	lab := charz.DefaultLab(*samples, *seed)
 	var comps []experiments.Comparison
 	add := func(figure, quantity, paper string, measured string) {

@@ -25,6 +25,14 @@ type BlockState struct {
 	RetentionMonths float64
 }
 
+// profileKey identifies the error-model profile a read executes under: the
+// block's reliability state, the operating temperature, and the read-timing
+// reduction programmed in the feature register.
+type profileKey struct {
+	cond vth.Condition
+	red  nand.Reduction
+}
+
 // Chip is one behavioral NAND flash chip.
 type Chip struct {
 	geom   nand.Geometry
@@ -37,6 +45,20 @@ type Chip struct {
 	// Counters for observability.
 	setFeatureCount int
 	resetCount      int
+
+	// fastPath selects the condition-resident profile path for reads; it is
+	// on by default and disabled only by differential tests that pin the
+	// fast path to the direct model evaluation.
+	fastPath bool
+	// active is the most recently used profile with its key; profiles is the
+	// memo of every profile this chip has executed under. Profile contents
+	// depend only on (condition, reduction, model), so entries never go
+	// stale — the active slot is invalidated on SetCondition and SET FEATURE
+	// and re-keyed per read, which covers Program/Erase mutating a block's
+	// state under it.
+	activeKey profileKey
+	active    *vth.ConditionProfile
+	profiles  map[profileKey]*vth.ConditionProfile
 }
 
 // New builds a chip with the given geometry and timing over a shared error
@@ -46,12 +68,44 @@ func New(geom nand.Geometry, timing nand.Timing, model *vth.Model, index int) (*
 		return nil, err
 	}
 	return &Chip{
-		geom:   geom,
-		timing: timing,
-		model:  model,
-		index:  index,
-		blocks: make([]BlockState, geom.Dies*geom.BlocksPerDie()),
+		geom:     geom,
+		timing:   timing,
+		model:    model,
+		index:    index,
+		blocks:   make([]BlockState, geom.Dies*geom.BlocksPerDie()),
+		fastPath: true,
+		profiles: make(map[profileKey]*vth.ConditionProfile),
 	}, nil
+}
+
+// SetFastPath toggles the condition-resident profile path. It exists for the
+// differential tests that compare the fast path against the direct model
+// evaluation; production callers leave it on.
+func (c *Chip) SetFastPath(on bool) {
+	c.fastPath = on
+	c.invalidateProfile()
+}
+
+// invalidateProfile drops the active profile so the next read re-keys it.
+func (c *Chip) invalidateProfile() {
+	c.active = nil
+	c.activeKey = profileKey{}
+}
+
+// profileFor returns the condition-resident profile for a block under the
+// current feature register, building and memoizing it on first use.
+func (c *Chip) profileFor(b nand.BlockID, tempC float64) *vth.ConditionProfile {
+	key := profileKey{cond: c.Condition(b, tempC), red: c.features.Reduction()}
+	if c.active != nil && key == c.activeKey {
+		return c.active
+	}
+	p, ok := c.profiles[key]
+	if !ok {
+		p = c.model.Profile(key.cond, key.red)
+		c.profiles[key] = p
+	}
+	c.activeKey, c.active = key, p
+	return p
 }
 
 // Geometry returns the chip's organization.
@@ -84,6 +138,7 @@ func (c *Chip) SetCondition(pec int, retentionMonths float64) {
 	for i := range c.blocks {
 		c.blocks[i] = BlockState{PEC: pec, RetentionMonths: retentionMonths}
 	}
+	c.invalidateProfile()
 }
 
 // Condition returns the error-model condition for a block at the given
@@ -105,6 +160,9 @@ func (c *Chip) pageID(a nand.Address) vth.PageID {
 // SetFeature programs the read-timing feature register and returns the
 // command latency (tSET).
 func (c *Chip) SetFeature(reg nand.FeatureRegister) sim.Time {
+	if reg != c.features {
+		c.invalidateProfile()
+	}
 	c.features = reg
 	c.setFeatureCount++
 	return c.timing.TSet
@@ -150,6 +208,9 @@ func (c *Chip) ReadRetry(a nand.Address, tempC float64) vth.ReadResult {
 		panic(fmt.Sprintf("chip: invalid address %v", a))
 	}
 	pt := c.geom.PageType(a.Page)
+	if c.fastPath {
+		return c.profileFor(a.BlockOf(), tempC).Read(c.pageID(a), pt)
+	}
 	return c.model.Read(c.pageID(a), c.Condition(a.BlockOf(), tempC), pt, c.features.Reduction())
 }
 
@@ -158,12 +219,18 @@ func (c *Chip) ReadRetry(a nand.Address, tempC float64) vth.ReadResult {
 // characterization platform performs (§4).
 func (c *Chip) StepErrors(a nand.Address, tempC float64, step int) int {
 	pt := c.geom.PageType(a.Page)
+	if c.fastPath {
+		return c.profileFor(a.BlockOf(), tempC).StepErrors(c.pageID(a), pt, step)
+	}
 	return c.model.StepErrors(c.pageID(a), c.Condition(a.BlockOf(), tempC), pt, step, c.features.Reduction())
 }
 
 // PageDrift exposes the page's V_OPT displacement in ladder steps — the
 // quantity PSO-style controllers estimate and cache.
 func (c *Chip) PageDrift(a nand.Address, tempC float64) float64 {
+	if c.fastPath {
+		return c.profileFor(a.BlockOf(), tempC).PageDrift(c.pageID(a))
+	}
 	return c.model.PageDrift(c.pageID(a), c.Condition(a.BlockOf(), tempC))
 }
 

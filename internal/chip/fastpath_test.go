@@ -1,0 +1,102 @@
+package chip
+
+import (
+	"testing"
+
+	"readretry/internal/nand"
+	"readretry/internal/vth"
+)
+
+// TestFastPathMatchesModel drives a chip through the state transitions that
+// must invalidate or re-key the active profile — SetCondition, SET FEATURE,
+// Program, Erase — and checks after each that the profile path returns
+// exactly what the direct model path does for every read-facing method.
+func TestFastPathMatchesModel(t *testing.T) {
+	geom := nand.Geometry{
+		Dies: 1, PlanesPerDie: 2, BlocksPerPlane: 8, PagesPerBlock: 12,
+		PageSize: 16 * 1024, CellBits: 3,
+	}
+	model := vth.NewModel(vth.DefaultParams(), 3)
+	fast, err := New(geom, nand.DefaultTiming(), model, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	slow, err := New(geom, nand.DefaultTiming(), model, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	slow.SetFastPath(false)
+
+	addrs := []nand.Address{
+		{Plane: 0, Block: 0, Page: 0},
+		{Plane: 0, Block: 3, Page: 7},
+		{Plane: 1, Block: 7, Page: 11},
+		{Plane: 1, Block: 2, Page: 4},
+	}
+	compare := func(stage string, tempC float64) {
+		t.Helper()
+		for _, a := range addrs {
+			if got, want := fast.ReadRetry(a, tempC), slow.ReadRetry(a, tempC); got != want {
+				t.Fatalf("%s: ReadRetry(%v, %g) fast %+v, slow %+v", stage, a, tempC, got, want)
+			}
+			if got, want := fast.StepErrors(a, tempC, 2), slow.StepErrors(a, tempC, 2); got != want {
+				t.Fatalf("%s: StepErrors(%v) fast %d, slow %d", stage, a, got, want)
+			}
+			if got, want := fast.PageDrift(a, tempC), slow.PageDrift(a, tempC); got != want {
+				t.Fatalf("%s: PageDrift(%v) fast %v, slow %v", stage, a, got, want)
+			}
+		}
+	}
+
+	apply := func(f func(c *Chip)) {
+		f(fast)
+		f(slow)
+	}
+
+	compare("fresh", 30)
+	apply(func(c *Chip) { c.SetCondition(2000, 12) })
+	compare("aged", 30)
+	compare("aged hot", 85)
+
+	var reg nand.FeatureRegister
+	reg.Set(6, 0, 1)
+	apply(func(c *Chip) { c.SetFeature(reg) })
+	compare("reduced timing", 30)
+
+	apply(func(c *Chip) { c.Program(addrs[1]) }) // resets one block's retention
+	compare("after program", 30)
+
+	apply(func(c *Chip) { c.Erase(addrs[2].BlockOf()) }) // bumps PEC, resets retention
+	compare("after erase", 30)
+
+	apply(func(c *Chip) { c.ResetFeature() })
+	compare("default timing restored", 30)
+}
+
+// TestProfileMemoization checks that repeated reads under one condition reuse
+// a single profile and that the memo holds one entry per distinct
+// (condition, reduction) pair rather than growing per read.
+func TestProfileMemoization(t *testing.T) {
+	model := vth.NewModel(vth.DefaultParams(), 1)
+	c, err := New(nand.DefaultGeometry(), nand.DefaultTiming(), model, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.SetCondition(1000, 3)
+	a := nand.Address{Plane: 0, Block: 1, Page: 2}
+	for i := 0; i < 50; i++ {
+		c.ReadRetry(a, 30)
+	}
+	if len(c.profiles) != 1 {
+		t.Fatalf("profiles after repeated identical reads = %d, want 1", len(c.profiles))
+	}
+	var reg nand.FeatureRegister
+	reg.Set(6, 0, 0)
+	c.SetFeature(reg)
+	c.ReadRetry(a, 30)
+	c.ResetFeature()
+	c.ReadRetry(a, 30)
+	if len(c.profiles) != 2 {
+		t.Fatalf("profiles after feature toggle = %d, want 2", len(c.profiles))
+	}
+}

@@ -49,6 +49,7 @@ func BuildPlan(s Scheme, nrr int, t StepTimings, opts Options) Plan {
 	default: // Baseline, NoRR
 		b.buildRegular(nrr, t)
 	}
+	b.plan.Finalize()
 	return b.plan
 }
 

@@ -1,0 +1,123 @@
+package core
+
+import (
+	"reflect"
+	"sync"
+	"testing"
+
+	"readretry/internal/sim"
+)
+
+func cacheTestTimings() StepTimings {
+	return StepTimings{
+		SenseDefault: 90 * sim.Microsecond,
+		SenseReduced: 68 * sim.Microsecond,
+		DMA:          16 * sim.Microsecond,
+		ECC:          20 * sim.Microsecond,
+		Set:          1 * sim.Microsecond,
+		Reset:        5 * sim.Microsecond,
+	}
+}
+
+// TestCachedPlanMatchesBuildPlan compares the memoized plan against a direct
+// BuildPlan for every scheme × nrr 0..MaxLadderSteps × ablation option, and
+// checks the cache returns one canonical pointer per key.
+func TestCachedPlanMatchesBuildPlan(t *testing.T) {
+	const maxLadderSteps = 40 // DefaultParams().MaxLadderSteps
+	tm := cacheTestTimings()
+	opts := []Options{
+		{},
+		{NoSpeculativeReset: true},
+		{PerStepSetFeature: true},
+		{NoSpeculativeReset: true, PerStepSetFeature: true},
+	}
+	for _, s := range []Scheme{Baseline, PR2, AR2, PnAR2, NoRR} {
+		for nrr := 0; nrr <= maxLadderSteps; nrr++ {
+			for _, o := range opts {
+				cached := CachedPlan(s, nrr, tm, o)
+				direct := BuildPlan(s, nrr, tm, o)
+				if !reflect.DeepEqual(*cached, direct) {
+					t.Fatalf("%v nrr=%d opts=%+v: cached plan differs from BuildPlan", s, nrr, o)
+				}
+				if again := CachedPlan(s, nrr, tm, o); again != cached {
+					t.Fatalf("%v nrr=%d opts=%+v: second lookup returned a different pointer", s, nrr, o)
+				}
+				if err := cached.Validate(); err != nil {
+					t.Fatalf("%v nrr=%d: cached plan invalid: %v", s, nrr, err)
+				}
+			}
+		}
+	}
+}
+
+// TestCachedPlanNormalization checks that the inputs BuildPlan normalizes
+// (negative nrr, NoRR's ignored nrr) share one cache entry.
+func TestCachedPlanNormalization(t *testing.T) {
+	tm := cacheTestTimings()
+	if CachedPlan(NoRR, 7, tm, Options{}) != CachedPlan(NoRR, 0, tm, Options{}) {
+		t.Fatal("NoRR plans with different nrr should share an entry")
+	}
+	if CachedPlan(Baseline, -3, tm, Options{}) != CachedPlan(Baseline, 0, tm, Options{}) {
+		t.Fatal("negative nrr should normalize to 0")
+	}
+	if CachedPlan(Baseline, 1, tm, Options{}) == CachedPlan(Baseline, 2, tm, Options{}) {
+		t.Fatal("distinct nrr must not share an entry")
+	}
+}
+
+// TestCachedPlanConcurrent hammers the cache from many goroutines; under
+// -race this verifies both the cache's own synchronization and that reading
+// shared plans concurrently is safe.
+func TestCachedPlanConcurrent(t *testing.T) {
+	tm := cacheTestTimings()
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				nrr := (g + i) % 12
+				p := CachedPlan(PnAR2, nrr, tm, Options{})
+				// Walk the shared adjacency the way an executor would.
+				total := 0
+				for op := range p.Ops {
+					total += len(p.Dependents(op))
+					total += len(p.Ops[op].Deps)
+				}
+				if total == 0 && nrr > 0 {
+					t.Errorf("plan nrr=%d has no edges", nrr)
+				}
+				_ = p.Latency()
+			}
+		}(g)
+	}
+	wg.Wait()
+}
+
+// TestDependentsMatchesDeps cross-checks the finalized adjacency against the
+// per-op Deps lists it was derived from, including ascending order.
+func TestDependentsMatchesDeps(t *testing.T) {
+	tm := cacheTestTimings()
+	for _, s := range []Scheme{Baseline, PR2, AR2, PnAR2} {
+		for _, nrr := range []int{0, 1, 5, 17} {
+			p := BuildPlan(s, nrr, tm, Options{})
+			want := make([][]int32, len(p.Ops))
+			for i, op := range p.Ops {
+				for _, d := range op.Deps {
+					want[d] = append(want[d], int32(i))
+				}
+			}
+			for i := range p.Ops {
+				got := p.Dependents(i)
+				if len(got) != len(want[i]) {
+					t.Fatalf("%v nrr=%d op %d: %d dependents, want %d", s, nrr, i, len(got), len(want[i]))
+				}
+				for j := range got {
+					if got[j] != want[i][j] {
+						t.Fatalf("%v nrr=%d op %d: dependents %v, want %v", s, nrr, i, got, want[i])
+					}
+				}
+			}
+		}
+	}
+}

@@ -152,6 +152,56 @@ type Plan struct {
 	// ReleaseOp indexes the op whose completion frees the die for the next
 	// transaction (speculative-step RESET, timing rollback, or final DMA).
 	ReleaseOp int
+
+	// succOff/succ are the flattened dependents adjacency, computed once by
+	// Finalize so executors need not rebuild it per read:
+	// succ[succOff[i]:succOff[i+1]] lists the ops depending on op i, in
+	// ascending index order (the order the original per-read construction
+	// produced). Plans from BuildPlan are always finalized.
+	succOff []int32
+	succ    []int32
+}
+
+// Finalize computes the plan's dependents adjacency. BuildPlan calls it on
+// every plan it emits; hand-constructed plans must call it before being
+// handed to an executor that uses Dependents.
+func (p *Plan) Finalize() {
+	n := len(p.Ops)
+	p.succOff = make([]int32, n+1)
+	total := 0
+	for _, op := range p.Ops {
+		total += len(op.Deps)
+	}
+	p.succ = make([]int32, total)
+	// Count dependents per op, prefix-sum into offsets, then fill. Filling
+	// in op order keeps each dependent list ascending, matching the order a
+	// per-read append loop over Ops would build.
+	counts := make([]int32, n)
+	for _, op := range p.Ops {
+		for _, d := range op.Deps {
+			counts[d]++
+		}
+	}
+	var off int32
+	for i := 0; i < n; i++ {
+		p.succOff[i] = off
+		off += counts[i]
+	}
+	p.succOff[n] = off
+	next := make([]int32, n)
+	copy(next, p.succOff[:n])
+	for i, op := range p.Ops {
+		for _, d := range op.Deps {
+			p.succ[next[d]] = int32(i)
+			next[d]++
+		}
+	}
+}
+
+// Dependents returns the indices of the ops that depend on op i. The slice
+// aliases the plan's finalized adjacency and must not be modified.
+func (p *Plan) Dependents(i int) []int32 {
+	return p.succ[p.succOff[i]:p.succOff[i+1]]
 }
 
 // Latency returns the uncontended makespan from plan start to host

@@ -39,6 +39,17 @@ type Config struct {
 	GCThresholdBlocks int
 }
 
+// Packed-PPN field widths used by the mapping table. Generous for any
+// realistic device (4096 dies × 64 planes × 16M blocks × 1M pages) while
+// fitting one table entry, with its valid bit, in a uint64.
+const (
+	ppnPageBits  = 20
+	ppnBlockBits = 24
+	ppnPlaneBits = 6
+	ppnDieBits   = 12
+	ppnValidBit  = uint64(1) << 63
+)
+
 // Validate reports whether the configuration is usable.
 func (c Config) Validate() error {
 	if c.Dies < 1 || c.PlanesPerDie < 1 || c.BlocksPerPlane < 2 || c.PagesPerBlock < 1 {
@@ -46,6 +57,10 @@ func (c Config) Validate() error {
 	}
 	if c.GCThresholdBlocks < 1 || c.GCThresholdBlocks >= c.BlocksPerPlane {
 		return fmt.Errorf("ftl: GC threshold %d outside (0, %d)", c.GCThresholdBlocks, c.BlocksPerPlane)
+	}
+	if c.Dies > 1<<ppnDieBits || c.PlanesPerDie > 1<<ppnPlaneBits ||
+		c.BlocksPerPlane > 1<<ppnBlockBits || c.PagesPerBlock > 1<<ppnPageBits {
+		return fmt.Errorf("ftl: geometry %+v exceeds packed-PPN field widths", c)
 	}
 	return nil
 }
@@ -79,12 +94,85 @@ type plane struct {
 	freeCount int
 }
 
+// pageTable is the LPN → PPN map. Logical page numbers are dense (workloads
+// address a contiguous footprint), so the table is a flat slice of packed
+// PPNs indexed by LPN rather than a hash map: lookups are a bounds check and
+// a shift, inserts never rehash, and a preconditioned experiment-scale
+// device costs ~8 bytes per page instead of a multi-hundred-megabyte map
+// churn (map fill and rehash used to dominate ssd.New, ~60 % of a sweep
+// cell's total CPU).
+type pageTable struct {
+	entries []uint64 // packed PPN | ppnValidBit; zero means unmapped
+	count   int
+}
+
+func packPPN(p PPN) uint64 {
+	return ppnValidBit |
+		uint64(p.Die)<<(ppnPageBits+ppnBlockBits+ppnPlaneBits) |
+		uint64(p.Plane)<<(ppnPageBits+ppnBlockBits) |
+		uint64(p.Block)<<ppnPageBits |
+		uint64(p.Page)
+}
+
+func unpackPPN(e uint64) PPN {
+	return PPN{
+		Die:   int(e >> (ppnPageBits + ppnBlockBits + ppnPlaneBits) & (1<<ppnDieBits - 1)),
+		Plane: int(e >> (ppnPageBits + ppnBlockBits) & (1<<ppnPlaneBits - 1)),
+		Block: int(e >> ppnPageBits & (1<<ppnBlockBits - 1)),
+		Page:  int(e & (1<<ppnPageBits - 1)),
+	}
+}
+
+func (t *pageTable) get(lpn int64) (PPN, bool) {
+	if lpn < 0 || lpn >= int64(len(t.entries)) {
+		return InvalidPPN, false
+	}
+	e := t.entries[lpn]
+	if e&ppnValidBit == 0 {
+		return InvalidPPN, false
+	}
+	return unpackPPN(e), true
+}
+
+func (t *pageTable) set(lpn int64, p PPN) {
+	if lpn < 0 {
+		panic(fmt.Sprintf("ftl: negative LPN %d", lpn))
+	}
+	if lpn >= int64(len(t.entries)) {
+		grown := make([]uint64, growTo(lpn+1, int64(len(t.entries))))
+		copy(grown, t.entries)
+		t.entries = grown
+	}
+	if t.entries[lpn]&ppnValidBit == 0 {
+		t.count++
+	}
+	t.entries[lpn] = packPPN(p)
+}
+
+// growTo sizes the table for at least need entries, doubling the current
+// capacity so sequential fills stay amortized O(1).
+func growTo(need, cur int64) int64 {
+	next := cur * 2
+	if next < 1024 {
+		next = 1024
+	}
+	if next < need {
+		next = need
+	}
+	return next
+}
+
 // FTL is the translation layer state.
 type FTL struct {
 	cfg    Config
-	table  map[int64]PPN // LPN → PPN
+	table  pageTable     // LPN → PPN
 	blocks [][]blockMeta // [globalPlane][block]
 	planes []plane
+	// maxLPN bounds the logical address space to the device's physical page
+	// count: the slice-backed table is sized by the largest LPN seen, so an
+	// out-of-range LPN must be rejected up front rather than allocating an
+	// arbitrarily large table.
+	maxLPN int64
 
 	hostWrites int64
 	gcWrites   int64
@@ -98,9 +186,10 @@ func New(cfg Config) (*FTL, error) {
 	nPlanes := cfg.Dies * cfg.PlanesPerDie
 	f := &FTL{
 		cfg:    cfg,
-		table:  make(map[int64]PPN),
 		blocks: make([][]blockMeta, nPlanes),
 		planes: make([]plane, nPlanes),
+		maxLPN: int64(cfg.Dies) * int64(cfg.PlanesPerDie) *
+			int64(cfg.BlocksPerPlane) * int64(cfg.PagesPerBlock),
 	}
 	for p := range f.blocks {
 		f.blocks[p] = make([]blockMeta, cfg.BlocksPerPlane)
@@ -133,12 +222,11 @@ func (f *FTL) StripeOf(lpn int64) (die, pl int) {
 
 // Lookup returns the physical location of a logical page.
 func (f *FTL) Lookup(lpn int64) (PPN, bool) {
-	ppn, ok := f.table[lpn]
-	return ppn, ok
+	return f.table.get(lpn)
 }
 
 // Mapped returns the number of mapped logical pages.
-func (f *FTL) Mapped() int { return len(f.table) }
+func (f *FTL) Mapped() int { return f.table.count }
 
 // FreeBlocks returns the free-block count of a plane.
 func (f *FTL) FreeBlocks(die, pl int) int { return f.planes[f.planeIndex(die, pl)].freeCount }
@@ -174,7 +262,10 @@ func makeLPNs(n int) []int64 {
 // without consuming simulated time. The caller must not precondition an
 // already mapped LPN.
 func (f *FTL) Precondition(lpn int64) (PPN, error) {
-	if _, ok := f.table[lpn]; ok {
+	if lpn < 0 || lpn >= f.maxLPN {
+		return InvalidPPN, fmt.Errorf("ftl: LPN %d outside logical space [0, %d)", lpn, f.maxLPN)
+	}
+	if _, ok := f.table.get(lpn); ok {
 		return InvalidPPN, fmt.Errorf("ftl: LPN %d already mapped", lpn)
 	}
 	die, pl := f.StripeOf(lpn)
@@ -183,7 +274,7 @@ func (f *FTL) Precondition(lpn int64) (PPN, error) {
 	if err != nil {
 		return InvalidPPN, err
 	}
-	f.table[lpn] = ppn
+	f.table.set(lpn, ppn)
 	return ppn, nil
 }
 
@@ -191,9 +282,12 @@ func (f *FTL) Precondition(lpn int64) (PPN, error) {
 // GC write, invalidating any previous location. It returns the new PPN and
 // the invalidated old one (old.Valid() reports whether the LPN was mapped).
 func (f *FTL) AllocateWrite(lpn int64, gc bool) (PPN, PPN, error) {
+	if lpn < 0 || lpn >= f.maxLPN {
+		return InvalidPPN, InvalidPPN, fmt.Errorf("ftl: LPN %d outside logical space [0, %d)", lpn, f.maxLPN)
+	}
 	die, pl := f.StripeOf(lpn)
 	pi := f.planeIndex(die, pl)
-	old, had := f.table[lpn]
+	old, had := f.table.get(lpn)
 	if had {
 		f.invalidate(old)
 	} else {
@@ -203,7 +297,7 @@ func (f *FTL) AllocateWrite(lpn int64, gc bool) (PPN, PPN, error) {
 	if err != nil {
 		return InvalidPPN, InvalidPPN, err
 	}
-	f.table[lpn] = ppn
+	f.table.set(lpn, ppn)
 	if gc {
 		f.gcWrites++
 	} else {

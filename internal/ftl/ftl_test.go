@@ -381,3 +381,26 @@ func TestInvalidPPN(t *testing.T) {
 		t.Error("zero PPN refers to die 0 and is valid")
 	}
 }
+
+func TestLPNOutsideLogicalSpaceRejected(t *testing.T) {
+	f, err := New(Config{Dies: 2, PlanesPerDie: 2, BlocksPerPlane: 4, PagesPerBlock: 8, GCThresholdBlocks: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	max := int64(2 * 2 * 4 * 8)
+	for _, lpn := range []int64{-1, max, max + 1, 1 << 40} {
+		if _, err := f.Precondition(lpn); err == nil {
+			t.Errorf("Precondition(%d) accepted an LPN outside [0, %d)", lpn, max)
+		}
+		if _, _, err := f.AllocateWrite(lpn, false); err == nil {
+			t.Errorf("AllocateWrite(%d) accepted an LPN outside [0, %d)", lpn, max)
+		}
+	}
+	// The boundary LPN itself is valid.
+	if _, err := f.Precondition(max - 1); err != nil {
+		t.Fatalf("Precondition(%d): %v", max-1, err)
+	}
+	if _, ok := f.Lookup(1 << 40); ok {
+		t.Error("Lookup of a huge LPN should miss, not grow the table")
+	}
+}

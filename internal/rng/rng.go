@@ -13,10 +13,59 @@ import (
 	"math/bits"
 )
 
+// State is the bare xoshiro256++ state as a value type. It backs Source and
+// is exposed directly for allocation-free derivation chains: hot paths (the
+// V_TH model draws per-page variates for every simulated read) can hold a
+// State on the stack, advance it, and derive child seeds with SplitKey
+// without a single heap allocation, producing streams bit-identical to the
+// equivalent New/Split/Float64 call chain.
+type State [4]uint64
+
+// SeedState returns the state New(seed) would start from: four SplitMix64
+// outputs, guaranteeing a well-mixed nonzero state for any seed, including 0.
+func SeedState(seed uint64) State {
+	var st State
+	sm := seed
+	for i := range st {
+		sm += 0x9e3779b97f4a7c15
+		z := sm
+		z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+		z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+		st[i] = z ^ (z >> 31)
+	}
+	return st
+}
+
+// SplitKey derives the child seed Split(label) would use, without advancing
+// or allocating anything: SeedState(st.SplitKey(label)) is exactly the state
+// of the child Source.Split(label) returns.
+func (st *State) SplitKey(label uint64) uint64 {
+	h := st[0] ^ (st[1] << 1) ^ (st[2] << 2) ^ (st[3] << 3)
+	return h ^ (label * 0xd1342543de82ef95)
+}
+
+// Uint64 returns the next 64 uniformly random bits, advancing the state.
+func (st *State) Uint64() uint64 {
+	result := rotl(st[0]+st[3], 23) + st[0]
+	t := st[1] << 17
+	st[2] ^= st[0]
+	st[3] ^= st[1]
+	st[1] ^= st[2]
+	st[0] ^= st[3]
+	st[2] ^= t
+	st[3] = rotl(st[3], 45)
+	return result
+}
+
+// Float64 returns a uniform float64 in [0, 1), advancing the state.
+func (st *State) Float64() float64 {
+	return float64(st.Uint64()>>11) / (1 << 53)
+}
+
 // Source is a deterministic xoshiro256++ PRNG. The zero value is not usable;
 // construct with New or Split.
 type Source struct {
-	s [4]uint64
+	s State
 	// cached second Gaussian variate from the polar method
 	gauss    float64
 	hasGauss bool
@@ -31,14 +80,7 @@ func New(seed uint64) *Source {
 }
 
 func (r *Source) reseed(seed uint64) {
-	sm := seed
-	for i := range r.s {
-		sm += 0x9e3779b97f4a7c15
-		z := sm
-		z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
-		z = (z ^ (z >> 27)) * 0x94d049bb133111eb
-		r.s[i] = z ^ (z >> 31)
-	}
+	r.s = SeedState(seed)
 	r.hasGauss = false
 }
 
@@ -49,29 +91,19 @@ func (r *Source) reseed(seed uint64) {
 func (r *Source) Split(label uint64) *Source {
 	// Mix the current state (without advancing it) with the label through
 	// SplitMix64 so children are decorrelated from the parent and each other.
-	h := r.s[0] ^ (r.s[1] << 1) ^ (r.s[2] << 2) ^ (r.s[3] << 3)
-	return New(h ^ (label * 0xd1342543de82ef95))
+	return New(r.s.SplitKey(label))
 }
 
 func rotl(x uint64, k uint) uint64 { return (x << k) | (x >> (64 - k)) }
 
 // Uint64 returns the next 64 uniformly random bits.
 func (r *Source) Uint64() uint64 {
-	s := &r.s
-	result := rotl(s[0]+s[3], 23) + s[0]
-	t := s[1] << 17
-	s[2] ^= s[0]
-	s[3] ^= s[1]
-	s[1] ^= s[2]
-	s[0] ^= s[3]
-	s[2] ^= t
-	s[3] = rotl(s[3], 45)
-	return result
+	return r.s.Uint64()
 }
 
 // Float64 returns a uniform float64 in [0, 1).
 func (r *Source) Float64() float64 {
-	return float64(r.Uint64()>>11) / (1 << 53)
+	return r.s.Float64()
 }
 
 // Intn returns a uniform int in [0, n). It panics if n <= 0.

@@ -82,6 +82,15 @@ type Config struct {
 	// the spirit of the Sentinel concurrent work [56]. Reads that need no
 	// retry are unaffected.
 	UseDriftPredictor bool
+
+	// DisableReadFastPath turns off the condition-resident read fast path —
+	// precomputed error-model profiles, memoized controller plans, and the
+	// pooled plan executor — and routes every read through the original
+	// direct evaluation instead. Results are bit-identical either way (the
+	// repository's differential tests sweep the full Figure 14 grid through
+	// both); the flag exists so those tests have a reference path, and as an
+	// escape hatch while the fast path is young.
+	DisableReadFastPath bool
 }
 
 // DefaultConfig returns the paper's full-size SSD (§7.1): 512 GiB over

@@ -28,6 +28,12 @@ type SSD struct {
 	table    *rpt.Table
 	pso      *core.PSO
 
+	// execFree recycles plan executors: a read's scratch (waiting counts)
+	// is returned here when its last operation completes, so the
+	// steady-state read loop reuses a handful of executors instead of
+	// allocating per-read closure graphs.
+	execFree []*planExec
+
 	stats Stats
 }
 
@@ -44,6 +50,7 @@ func New(cfg Config) (*SSD, error) {
 		if err != nil {
 			return nil, err
 		}
+		c.SetFastPath(!cfg.DisableReadFastPath)
 		c.SetCondition(cfg.PEC, cfg.RetentionMonths)
 		s.chips = append(s.chips, c)
 		s.dies = append(s.dies, &die{id: d, channel: d / cfg.DiesPerChannel})
@@ -64,7 +71,7 @@ func New(cfg Config) (*SSD, error) {
 	}
 	s.flash = f
 	if cfg.Scheme.Adaptive() {
-		table, err := rpt.Profile(model, cfg.RPT)
+		table, err := profiledTable(model, cfg.VthParams, cfg.Seed, cfg.RPT)
 		if err != nil {
 			return nil, err
 		}
@@ -472,7 +479,6 @@ func (s *SSD) startRead(d *die, t *txn, now sim.Time) {
 	}
 	now = start
 
-	plan := core.BuildPlan(s.cfg.Scheme, oc.nrr, oc.timings, s.cfg.CoreOpts)
 	finish := func(sim.Time) {
 		s.setIdle(d, s.eng.Now())
 		s.dispatch(d, s.eng.Now())
@@ -486,19 +492,111 @@ func (s *SSD) startRead(d *die, t *txn, now sim.Time) {
 	if oc.fallback {
 		// Chain the default-timing re-read after the failed reduced pass.
 		s.stats.AR2Fallbacks++
-		firstPlan := plan
-		s.runPlan(d, firstPlan, now, func(sim.Time) {}, func(rel sim.Time) {
-			second := core.BuildPlan(core.Baseline, oc.fbNRR, oc.timings, s.cfg.CoreOpts)
-			s.runPlan(d, second, rel, respond, finish)
+		s.execute(d, s.cfg.Scheme, oc.nrr, oc.timings, now, func(sim.Time) {}, func(rel sim.Time) {
+			s.execute(d, core.Baseline, oc.fbNRR, oc.timings, rel, respond, finish)
 		})
 		return
 	}
-	s.runPlan(d, plan, now, respond, finish)
+	s.execute(d, s.cfg.Scheme, oc.nrr, oc.timings, now, respond, finish)
 }
 
-// runPlan executes a controller plan starting at start. onResponse fires at
-// the host-visible completion, onRelease when the die is free again.
-func (s *SSD) runPlan(d *die, plan core.Plan, start sim.Time, onResponse, onRelease func(sim.Time)) {
+// execute runs the controller plan for one page read. The fast path fetches
+// the memoized immutable plan and drives it with a pooled executor; the
+// reference path (Config.DisableReadFastPath) rebuilds the plan per read and
+// runs the original closure-graph executor. Both produce identical event
+// sequences, so simulation results are bit-identical.
+func (s *SSD) execute(d *die, scheme core.Scheme, nrr int, tm core.StepTimings,
+	start sim.Time, onResponse, onRelease func(sim.Time)) {
+	if s.cfg.DisableReadFastPath {
+		s.runPlanSlow(d, core.BuildPlan(scheme, nrr, tm, s.cfg.CoreOpts), start, onResponse, onRelease)
+		return
+	}
+	s.runPlan(d, core.CachedPlan(scheme, nrr, tm, s.cfg.CoreOpts), start, onResponse, onRelease)
+}
+
+// planExec drives one shared, immutable plan. All mutable state — the
+// per-op waiting counts and the outstanding-op counter — lives here, never
+// in the plan; executors recycle through SSD.execFree once their last
+// operation completes. More than one executor can be in flight on a die (a
+// regular plan releases the die at its final DMA while its last ECC decode
+// is still pending), which is why the scratch is pooled rather than per-die.
+type planExec struct {
+	s          *SSD
+	d          *die
+	plan       *core.Plan
+	waiting    []int32
+	remaining  int
+	onResponse func(sim.Time)
+	onRelease  func(sim.Time)
+}
+
+// runPlan executes a memoized controller plan starting at start. onResponse
+// fires at the host-visible completion, onRelease when the die is free
+// again.
+func (s *SSD) runPlan(d *die, plan *core.Plan, start sim.Time, onResponse, onRelease func(sim.Time)) {
+	var x *planExec
+	if n := len(s.execFree); n > 0 {
+		x = s.execFree[n-1]
+		s.execFree = s.execFree[:n-1]
+	} else {
+		x = &planExec{s: s}
+	}
+	x.d, x.plan = d, plan
+	x.onResponse, x.onRelease = onResponse, onRelease
+	n := len(plan.Ops)
+	if cap(x.waiting) < n {
+		x.waiting = make([]int32, n)
+	} else {
+		x.waiting = x.waiting[:n]
+	}
+	for i := range plan.Ops {
+		x.waiting[i] = int32(len(plan.Ops[i].Deps))
+	}
+	x.remaining = n
+	for i := range plan.Ops {
+		if x.waiting[i] == 0 {
+			x.startOp(i, start)
+		}
+	}
+}
+
+func (x *planExec) startOp(i int, at sim.Time) {
+	op := &x.plan.Ops[i]
+	switch op.Res {
+	case core.ResChannel:
+		x.s.channels[x.d.channel].acquireTag(at, op.Dur, x, i)
+	case core.ResECC:
+		x.s.eccs[x.d.channel].acquireTag(at, op.Dur, x, i)
+	default: // die or controller-side: the die is owned by this plan
+		x.s.eng.ScheduleTag(at+op.Dur, x, i)
+	}
+}
+
+// Fire implements sim.Callback: operation i of the plan completed at t.
+func (x *planExec) Fire(t sim.Time, i int) {
+	if i == x.plan.ResponseOp && x.onResponse != nil {
+		x.onResponse(t)
+	}
+	if i == x.plan.ReleaseOp && x.onRelease != nil {
+		x.onRelease(t)
+	}
+	for _, dep := range x.plan.Dependents(i) {
+		x.waiting[dep]--
+		if x.waiting[dep] == 0 {
+			x.startOp(int(dep), t)
+		}
+	}
+	x.remaining--
+	if x.remaining == 0 {
+		x.onResponse, x.onRelease, x.plan, x.d = nil, nil, nil, nil
+		x.s.execFree = append(x.s.execFree, x)
+	}
+}
+
+// runPlanSlow is the pre-fast-path executor, kept verbatim as the reference
+// implementation behind Config.DisableReadFastPath: it rebuilds the waiting
+// counts, dependents adjacency, and completion closures for every read.
+func (s *SSD) runPlanSlow(d *die, plan core.Plan, start sim.Time, onResponse, onRelease func(sim.Time)) {
 	n := len(plan.Ops)
 	waiting := make([]int, n)
 	dependents := make([][]int, n)
@@ -652,8 +750,7 @@ func (s *SSD) runGCMove(d *die, t *txn, now sim.Time) {
 	addr := chipAddr(ppn)
 	oc := s.resolveRead(c, addr)
 	s.stats.GCPageReads++
-	plan := core.BuildPlan(s.cfg.Scheme, oc.nrr, oc.timings, s.cfg.CoreOpts)
-	s.runPlan(d, plan, now, nil, func(rel sim.Time) {
+	s.execute(d, s.cfg.Scheme, oc.nrr, oc.timings, now, nil, func(rel sim.Time) {
 		// Write the page back out: channel transfer + program.
 		newPPN, _, err := s.flash.AllocateWrite(t.lpn, true)
 		if err != nil {
@@ -717,23 +814,33 @@ func (s *SSD) completePage(t *txn, done sim.Time) {
 		s.stats.Writes.Add(resp)
 	} else {
 		s.stats.Reads.Add(resp)
-		s.stats.readSamples = append(s.stats.readSamples, resp)
+		s.stats.addReadSample(resp)
 	}
 	s.stats.Completed++
 }
 
-// resourceQueue is a FIFO-arbitrated unit (channel bus or ECC engine).
+// resourceQueue is a FIFO-arbitrated unit (channel bus or ECC engine). Its
+// end-of-occupancy events are scheduled through the tag API with itself as
+// the callback, so granting the resource allocates nothing; closure-based
+// acquires (the write path) ride the same machinery.
 type resourceQueue struct {
 	eng      *sim.Engine
 	busy     bool
 	freeAt   sim.Time
 	queue    []pendingAcquire
 	busyTime sim.Time
+	// cur{Done,CB,Tag} describe the in-flight occupant (exactly one while
+	// busy): either a done closure or a (callback, tag) pair.
+	curDone func(end sim.Time)
+	curCB   sim.Callback
+	curTag  int
 }
 
 type pendingAcquire struct {
 	dur  sim.Time
 	done func(end sim.Time)
+	cb   sim.Callback
+	tag  int
 }
 
 // acquire requests the resource for dur starting no earlier than at; done
@@ -743,17 +850,43 @@ func (r *resourceQueue) acquire(at sim.Time, dur sim.Time, done func(end sim.Tim
 		r.queue = append(r.queue, pendingAcquire{dur: dur, done: done})
 		return
 	}
+	r.grant(at, dur, done, nil, 0)
+}
+
+// acquireTag is acquire with an allocation-free completion: cb.Fire(end, tag)
+// runs when the occupancy ends.
+func (r *resourceQueue) acquireTag(at sim.Time, dur sim.Time, cb sim.Callback, tag int) {
+	if r.busy {
+		r.queue = append(r.queue, pendingAcquire{dur: dur, cb: cb, tag: tag})
+		return
+	}
+	r.grant(at, dur, nil, cb, tag)
+}
+
+// grant starts an occupancy immediately (the resource must be idle).
+func (r *resourceQueue) grant(at sim.Time, dur sim.Time, done func(end sim.Time), cb sim.Callback, tag int) {
 	start := at
 	if now := r.eng.Now(); start < now {
 		start = now
 	}
 	r.busy = true
 	r.busyTime += dur
-	end := start + dur
-	r.eng.Schedule(end, func(t sim.Time) {
-		r.release(t)
+	r.curDone, r.curCB, r.curTag = done, cb, tag
+	r.eng.ScheduleTag(start+dur, r, 0)
+}
+
+// Fire implements sim.Callback: the current occupancy ended. As in the
+// original closure (`r.release(t); done(t)`), the next queued acquire is
+// granted before the completed one's continuation runs.
+func (r *resourceQueue) Fire(t sim.Time, _ int) {
+	done, cb, tag := r.curDone, r.curCB, r.curTag
+	r.curDone, r.curCB = nil, nil
+	r.release(t)
+	if cb != nil {
+		cb.Fire(t, tag)
+	} else {
 		done(t)
-	})
+	}
 }
 
 func (r *resourceQueue) release(now sim.Time) {
@@ -763,5 +896,5 @@ func (r *resourceQueue) release(now sim.Time) {
 	}
 	next := r.queue[0]
 	r.queue = r.queue[1:]
-	r.acquire(now, next.dur, next.done)
+	r.grant(now, next.dur, next.done, next.cb, next.tag)
 }

@@ -92,7 +92,18 @@ func (st *Stats) MeanWrite() float64 { return st.Writes.Mean() }
 // MeanAll returns the mean response time across all requests in µs.
 func (st *Stats) MeanAll() float64 { return st.All.Mean() }
 
-// ReadPercentile returns the p-th percentile read response time in µs.
+// addReadSample records one read response time for the percentile
+// statistics. Appending invalidates the sort order, so the sorted flag is
+// reset: a ReadPercentile call mid-run (progress inspection) used to leave
+// the flag set and silently compute later percentiles over a half-sorted
+// slice.
+func (st *Stats) addReadSample(v float64) {
+	st.readSamples = append(st.readSamples, v)
+	st.sorted = false
+}
+
+// ReadPercentile returns the p-th percentile read response time in µs. The
+// samples are sorted lazily — once per batch of appends, not per call.
 func (st *Stats) ReadPercentile(p float64) float64 {
 	if !st.sorted {
 		sort.Float64s(st.readSamples)

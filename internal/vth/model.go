@@ -24,6 +24,10 @@ type PageID struct {
 type Model struct {
 	p    Params
 	seed uint64
+	// root is the generator state New(seed) would start from, precomputed so
+	// pageRand can derive per-page variates without reconstructing it (and
+	// without heap-allocating generator chains) on every read.
+	root rng.State
 }
 
 // NewModel builds a model over the given parameters. The seed selects the
@@ -34,7 +38,7 @@ func NewModel(p Params, seed uint64) *Model {
 	if err := p.Validate(); err != nil {
 		panic(err)
 	}
-	return &Model{p: p, seed: seed}
+	return &Model{p: p, seed: seed, root: rng.SeedState(seed)}
 }
 
 // Params returns the model's parameters.
@@ -45,14 +49,24 @@ func (m *Model) Capability() int { return m.p.CapabilityPerKiB }
 
 // pageRand returns the deterministic uniform [0,1) variates attached to a
 // page: block-level factor, page-level factor, jitter draw, and severity.
+//
+// The derivation is the allocation-free value-state equivalent of the
+// original generator chain
+//
+//	src := rng.New(m.seed).Split(uint64(pg.Chip)*0x9e3779b9 + 0x1234)
+//	blockSrc := src.Split(uint64(pg.Block))
+//	pageSrc := blockSrc.Split(uint64(pg.Page))   // after one blockSrc draw
+//
+// and produces bit-identical variates (pinned by TestPageRandMatchesSplitChain),
+// so every experiment regenerates exactly as before the rewrite.
 func (m *Model) pageRand(pg PageID) (blockU, pageU, jitterU, sevU float64) {
-	src := rng.New(m.seed).Split(uint64(pg.Chip)*0x9e3779b9 + 0x1234)
-	blockSrc := src.Split(uint64(pg.Block))
-	blockU = blockSrc.Float64()
-	pageSrc := blockSrc.Split(uint64(pg.Page))
-	pageU = pageSrc.Float64()
-	jitterU = pageSrc.Float64()
-	sevU = pageSrc.Float64()
+	chipState := rng.SeedState(m.root.SplitKey(uint64(pg.Chip)*0x9e3779b9 + 0x1234))
+	blockState := rng.SeedState(chipState.SplitKey(uint64(pg.Block)))
+	blockU = blockState.Float64()
+	pageState := rng.SeedState(blockState.SplitKey(uint64(pg.Page)))
+	pageU = pageState.Float64()
+	jitterU = pageState.Float64()
+	sevU = pageState.Float64()
 	return
 }
 
@@ -99,8 +113,9 @@ func (m *Model) PageDrift(pg PageID, c Condition) float64 {
 // overkill; a 12-section piecewise-linear fit of Φ⁻¹ keeps determinism and
 // boundedness).
 func boundedNormal(u float64) float64 {
-	// Use the logit approximation Φ⁻¹(u) ≈ 0.4255 × ln(u/(1-u)) × adjustment,
-	// accurate to ~1% over (0.001, 0.999), then clip.
+	// Use the logit approximation Φ⁻¹(u) ≈ 0.6266 × ln(u/(1-u)) (the
+	// coefficient matching the slope of Φ⁻¹ at the distribution center),
+	// accurate to a few percent over (0.01, 0.99), then clip.
 	if u < 1e-6 {
 		u = 1e-6
 	}

@@ -1,0 +1,52 @@
+#!/usr/bin/env bash
+# bench.sh — run the read-path and sweep benchmarks and record the results
+# as JSON, starting the repository's performance trajectory.
+#
+# Usage:
+#   scripts/bench.sh [output.json] [benchtime]
+#
+# Defaults: BENCH_PR3.json in the repository root, -benchtime 5x. The JSON
+# maps each benchmark to {ns_per_op, bytes_per_op, allocs_per_op}; custom
+# metrics (mean_nrr, workers, …) are ignored. Compare a fresh run against
+# the committed BENCH_PR3.json to spot regressions.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+out="${1:-BENCH_PR3.json}"
+macrotime="${2:-5x}"
+
+# Nanosecond-scale benchmarks need a time budget to converge; whole-cell
+# benchmarks need a small fixed iteration count to stay affordable.
+micro=$(go test . -run NONE \
+  -bench 'BenchmarkReadPath|BenchmarkVthModelRead' \
+  -benchtime 2s -benchmem)
+macro=$(go test . -run NONE \
+  -bench 'BenchmarkSweepCell|BenchmarkSweepSerial|BenchmarkSweepParallel|BenchmarkSSDSimulationThroughput' \
+  -benchtime "$macrotime" -benchmem)
+raw="$micro
+$macro"
+
+echo "$raw"
+
+echo "$raw" | awk '
+  /^Benchmark/ {
+    name = $1
+    sub(/-[0-9]+$/, "", name)   # strip the GOMAXPROCS suffix if present
+    ns = ""; bytes = ""; allocs = ""
+    for (i = 2; i <= NF; i++) {
+      if ($i == "ns/op")     ns = $(i-1)
+      if ($i == "B/op")      bytes = $(i-1)
+      if ($i == "allocs/op") allocs = $(i-1)
+    }
+    if (ns != "") {
+      if (n++) printf ",\n"
+      printf "  \"%s\": {\"ns_per_op\": %s, \"bytes_per_op\": %s, \"allocs_per_op\": %s}", \
+        name, ns, (bytes == "" ? "null" : bytes), (allocs == "" ? "null" : allocs)
+    }
+  }
+  BEGIN { printf "{\n" }
+  END   { printf "\n}\n" }
+' >"$out"
+
+echo "wrote $out"
