@@ -336,6 +336,23 @@ func BenchmarkSweepStreamingCSV(b *testing.B) {
 	}
 }
 
+// BenchmarkSweepTemperatureGrid runs the trimmed grid crossed with three
+// operating temperatures — the 3-D PEC × retention × temperature sweep —
+// so the trajectory tracks what the temperature axis multiplies the cell
+// count by (3× here; the per-cell cost is unchanged, all the added work is
+// more cells).
+func BenchmarkSweepTemperatureGrid(b *testing.B) {
+	cfg := benchSweepConfig()
+	cfg.Parallelism = 0
+	cfg.Temps = []float64{25, 55, 85}
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.RunSweep(context.Background(), cfg, experiments.Figure14Variants()); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(len(cfg.Temps)), "temps")
+}
+
 // --- Ablations (DESIGN.md §6) -------------------------------------------------
 
 func BenchmarkAblationPR2NoReset(b *testing.B) {
@@ -533,7 +550,7 @@ func BenchmarkReadPath(b *testing.B) {
 			b.Fatal(err)
 		}
 		c.SetFastPath(fast)
-		c.SetCondition(2000, 12)
+		c.SetCondition(2000, 12, 30)
 		var reg nand.FeatureRegister
 		reg.Set(6, 0, 0)
 		c.SetFeature(reg)

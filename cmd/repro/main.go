@@ -10,6 +10,7 @@
 //	repro -parallel 8      # bound the sweep engine's worker pool
 //	repro -csv out         # stream sweep cells to out/fig14.csv, out/fig15.csv
 //	repro -cache-dir .rrc  # persist per-cell results; re-runs skip known cells
+//	repro -temps 25,55,85  # cross the condition grid with a temperature axis
 package main
 
 import (
@@ -19,6 +20,7 @@ import (
 	"path/filepath"
 	"runtime"
 	"runtime/pprof"
+	"strconv"
 	"strings"
 
 	"readretry/internal/charz"
@@ -42,6 +44,7 @@ var (
 	parallel = flag.Int("parallel", 0, "sweep worker pool size (0 = GOMAXPROCS, 1 = serial)")
 	progress = flag.Bool("progress", true, "report sweep progress on stderr")
 	csvDir   = flag.String("csv", "", "directory to stream per-figure sweep CSVs into (fig14.csv, fig15.csv), written row-by-row as cells complete")
+	temps    = flag.String("temps", "", "comma-separated operating temperatures in °C (e.g. 25,55,85) to cross the Figure 14/15 condition grid with; empty keeps the device default")
 	cacheDir = flag.String("cache-dir", "", "per-cell sweep cache directory: re-runs only simulate cells not already cached")
 	cpuProf  = flag.String("cpuprofile", "", "write a CPU profile to this file (pprof format), so perf work can attribute wins")
 	memProf  = flag.String("memprofile", "", "write a heap profile to this file at exit (pprof format)")
@@ -49,8 +52,9 @@ var (
 
 // csvSinkFor opens dir/<name>.csv for streaming when -csv is set; the
 // returned closer flushes and reports late write errors. Without -csv it
-// returns a nil sink.
-func csvSinkFor(name string) (experiments.CellSink, func() error, error) {
+// returns a nil sink. The CSV schema follows the sweep configuration: a
+// -temps grid gains the temp_c column.
+func csvSinkFor(name string, cfg experiments.Config) (experiments.CellSink, func() error, error) {
 	if *csvDir == "" {
 		return nil, func() error { return nil }, nil
 	}
@@ -62,12 +66,41 @@ func csvSinkFor(name string) (experiments.CellSink, func() error, error) {
 	if err != nil {
 		return nil, nil, err
 	}
-	sink, err := experiments.NewCSVSink(f)
+	sink, err := experiments.NewCSVSinkFor(cfg, f)
 	if err != nil {
 		f.Close()
 		return nil, nil, err
 	}
 	return sink, f.Close, nil
+}
+
+// parseTemps converts the -temps flag into a temperature axis.
+func parseTemps(s string) ([]float64, error) {
+	if s == "" {
+		return nil, nil
+	}
+	var out []float64
+	for _, field := range strings.Split(s, ",") {
+		t, err := strconv.ParseFloat(strings.TrimSpace(field), 64)
+		if err != nil {
+			return nil, fmt.Errorf("-temps: %q is not a temperature", field)
+		}
+		out = append(out, t)
+	}
+	return out, nil
+}
+
+// renderByTemp prints a configuration's reduction per operating
+// temperature — the summary a -temps sweep exists for.
+func renderByTemp(res *experiments.Result, config, reference string) {
+	fmt.Printf("\n  %s reduction vs %s by operating temperature:\n", config, reference)
+	for _, tr := range res.ReductionByTemp(config, reference) {
+		label := "default"
+		if tr.TempC != 0 {
+			label = fmt.Sprintf("%g°C", tr.TempC)
+		}
+		fmt.Printf("    %-8s avg %5.1f%%   max %5.1f%%\n", label, tr.Avg*100, tr.Max*100)
+	}
 }
 
 // sweepProgress returns a Progress callback that reports the named sweep on
@@ -345,6 +378,12 @@ func main() {
 			cfg = experiments.QuickConfig()
 		}
 		cfg.Parallelism = *parallel
+		axis, err := parseTemps(*temps)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "repro: %v\n", err)
+			os.Exit(1)
+		}
+		cfg.Temps = axis
 		if *cacheDir != "" {
 			// The disk tier makes re-runs incremental; within one
 			// invocation it also lets fig15 reuse fig14's Baseline and
@@ -361,7 +400,7 @@ func main() {
 			if *progress {
 				cfg.Progress = sweepProgress("fig14")
 			}
-			sink, closeCSV, err := csvSinkFor("fig14")
+			sink, closeCSV, err := csvSinkFor("fig14", cfg)
 			if err != nil {
 				fmt.Fprintf(os.Stderr, "repro: fig14: %v\n", err)
 				os.Exit(1)
@@ -387,20 +426,29 @@ func main() {
 				fmt.Sprintf("%.1f%% / %.1f%%", arAvg*100, arMax*100))
 			add("Fig 14", "PnAR2 response-time reduction (avg / max)", "28.9% / 51.8%",
 				fmt.Sprintf("%.1f%% / %.1f%%", bothAvg*100, bothMax*100))
-			add("Fig 14", "PnAR2 reduction at (2K, 6mo)", "35.2%",
-				fmt.Sprintf("%.1f%%", res.ReductionAt("PnAR2", "Baseline",
-					experiments.Condition{PEC: 2000, Months: 6})*100))
+			if !cfg.HasTemperatureAxis() {
+				// The paper quotes the bare (2K, 6mo) point; under -temps
+				// that exact 2-D condition is not in the grid (each cell
+				// carries a temperature), so the comparison is skipped.
+				add("Fig 14", "PnAR2 reduction at (2K, 6mo)", "35.2%",
+					fmt.Sprintf("%.1f%%", res.ReductionAt("PnAR2", "Baseline",
+						experiments.Condition{PEC: 2000, Months: 6})*100))
+			}
 			add("Fig 14", "Baseline→NoRR gap closed by PnAR2", "41%",
 				fmt.Sprintf("%.0f%%", res.GapClosed("PnAR2")*100))
 			add("Fig 14", "PnAR2 response time vs ideal NoRR", "2.37x",
 				fmt.Sprintf("%.2fx", res.RatioToNoRR("PnAR2", false)))
+			if cfg.HasTemperatureAxis() {
+				renderByTemp(res, "PnAR2", "Baseline")
+				renderByTemp(res, "AR2", "Baseline")
+			}
 		}
 		if want("fig15") {
 			header("Figure 15: combining with PSO (normalized to Baseline)")
 			if *progress {
 				cfg.Progress = sweepProgress("fig15")
 			}
-			sink, closeCSV, err := csvSinkFor("fig15")
+			sink, closeCSV, err := csvSinkFor("fig15", cfg)
 			if err != nil {
 				fmt.Fprintf(os.Stderr, "repro: fig15: %v\n", err)
 				os.Exit(1)
@@ -428,6 +476,9 @@ func main() {
 				fmt.Sprintf("%.1f%% / %.1f%%", wrAvg*100, wrMax*100))
 			add("Fig 15", "PSO+PnAR2 vs NoRR (read-dominant)", "1.6x",
 				fmt.Sprintf("%.2fx", res.RatioToNoRR("PSO+PnAR2", true)))
+			if cfg.HasTemperatureAxis() {
+				renderByTemp(res, "PSO+PnAR2", "PSO")
+			}
 		}
 	}
 

@@ -83,9 +83,12 @@ func (l *Lab) samplePage(src *rng.Source) (*chip.Chip, nand.Address) {
 	return c, nand.Address{Die: die, Plane: plane, Block: block, Page: page}
 }
 
-// forEachSample preconditions the fleet and calls fn for SampleReads pages.
-func (l *Lab) forEachSample(pec int, months float64, label uint64, fn func(*chip.Chip, nand.Address)) {
-	l.fleet.SetCondition(pec, months)
+// forEachSample preconditions the fleet — aging state plus the chamber's
+// operating temperature — and calls fn for SampleReads pages. Experiments
+// that sweep several temperatures over one aging state pass their
+// reference temperature here and override per read.
+func (l *Lab) forEachSample(pec int, months, tempC float64, label uint64, fn func(*chip.Chip, nand.Address)) {
+	l.fleet.SetCondition(pec, months, tempC)
 	src := rng.New(l.seed).Split(label)
 	for i := 0; i < l.SampleReads; i++ {
 		c, addr := l.samplePage(src)
@@ -135,7 +138,7 @@ func (h RetryHistogram) FractionAtLeast(n int) float64 {
 func (l *Lab) RetrySteps(pec int, months, tempC float64) RetryHistogram {
 	h := RetryHistogram{PEC: pec, Months: months, Min: 1 << 30}
 	sum := 0
-	l.forEachSample(pec, months, expLabel(5, pec, months, tempC), func(c *chip.Chip, a nand.Address) {
+	l.forEachSample(pec, months, tempC, expLabel(5, pec, months, tempC), func(c *chip.Chip, a nand.Address) {
 		n := c.ReadRetry(a, tempC).RetrySteps
 		for len(h.Counts) <= n {
 			h.Counts = append(h.Counts, 0)
@@ -186,7 +189,7 @@ type LadderSeries struct {
 // series. It returns an error if no sampled page needs that many steps.
 func (l *Lab) RBERLadder(pec int, months float64, wantSteps int) (LadderSeries, error) {
 	var found *LadderSeries
-	l.forEachSample(pec, months, expLabel(4, pec, months, float64(wantSteps)), func(c *chip.Chip, a nand.Address) {
+	l.forEachSample(pec, months, 30, expLabel(4, pec, months, float64(wantSteps)), func(c *chip.Chip, a nand.Address) {
 		if found != nil {
 			return
 		}
@@ -230,7 +233,7 @@ func (l *Lab) FinalStepMargin(pecs []int, months []float64, temps []float64) []M
 		for _, pec := range pecs {
 			for _, mo := range months {
 				maxErr := 0
-				l.forEachSample(pec, mo, expLabel(7, pec, mo, temp), func(c *chip.Chip, a nand.Address) {
+				l.forEachSample(pec, mo, temp, expLabel(7, pec, mo, temp), func(c *chip.Chip, a nand.Address) {
 					if e := c.ReadRetry(a, temp).FinalErrors; e > maxErr {
 						maxErr = e
 					}
@@ -282,7 +285,7 @@ func (l *Lab) maxFinalErrors(pec int, months, tempC float64, reg nand.FeatureReg
 	maxErr := 0
 	label := expLabel(8, pec, months, tempC) ^ uint64(reg.PreLevel)<<32 ^
 		uint64(reg.EvalLevel)<<40 ^ uint64(reg.DischLevel)<<48
-	l.forEachSample(pec, months, label, func(c *chip.Chip, a nand.Address) {
+	l.forEachSample(pec, months, tempC, label, func(c *chip.Chip, a nand.Address) {
 		c.SetFeature(reg)
 		if e := c.ReadRetry(a, tempC).FinalErrors; e > maxErr {
 			maxErr = e

@@ -46,6 +46,13 @@ type Chip struct {
 	setFeatureCount int
 	resetCount      int
 
+	// tempC is the chip's resident operating temperature — the third axis
+	// of the condition state SetCondition establishes. Read-facing methods
+	// take an explicit per-read temperature (the characterization lab
+	// sweeps it read-by-read); callers that operate the chip at its
+	// conditioned ambient (the SSD simulator) pass Temp().
+	tempC float64
+
 	// fastPath selects the condition-resident profile path for reads; it is
 	// on by default and disabled only by differential tests that pin the
 	// fast path to the direct model evaluation.
@@ -132,14 +139,23 @@ func (c *Chip) Block(b nand.BlockID) *BlockState {
 }
 
 // SetCondition preconditions every block of the chip to the given P/E-cycle
-// count and retention age — the accelerated-aging step of a characterization
-// run.
-func (c *Chip) SetCondition(pec int, retentionMonths float64) {
+// count and retention age and sets the chip's operating temperature — the
+// accelerated-aging + thermal-chamber step of a characterization run.
+// Temperature is part of the condition set/invalidate path: a
+// temperature-only change drops the active profile exactly as an aging
+// change does, so a later read can never execute under a profile computed
+// for the previous ambient.
+func (c *Chip) SetCondition(pec int, retentionMonths, tempC float64) {
 	for i := range c.blocks {
 		c.blocks[i] = BlockState{PEC: pec, RetentionMonths: retentionMonths}
 	}
+	c.tempC = tempC
 	c.invalidateProfile()
 }
+
+// Temp returns the chip's resident operating temperature, as set by
+// SetCondition.
+func (c *Chip) Temp() float64 { return c.tempC }
 
 // Condition returns the error-model condition for a block at the given
 // operating temperature.
@@ -283,9 +299,10 @@ func DefaultFleet(seed uint64) *Fleet {
 	return f
 }
 
-// SetCondition preconditions every chip in the fleet.
-func (f *Fleet) SetCondition(pec int, retentionMonths float64) {
+// SetCondition preconditions every chip in the fleet and sets the common
+// operating temperature.
+func (f *Fleet) SetCondition(pec int, retentionMonths, tempC float64) {
 	for _, c := range f.Chips {
-		c.SetCondition(pec, retentionMonths)
+		c.SetCondition(pec, retentionMonths, tempC)
 	}
 }

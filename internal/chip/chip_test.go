@@ -29,7 +29,7 @@ func TestNewRejectsBadGeometry(t *testing.T) {
 
 func TestBlockStatePreconditioning(t *testing.T) {
 	c := testChip(t)
-	c.SetCondition(1500, 6)
+	c.SetCondition(1500, 6, 55)
 	b := nand.BlockID{Die: 0, Plane: 1, Block: 42}
 	st := c.Block(b)
 	if st.PEC != 1500 || st.RetentionMonths != 6 {
@@ -38,6 +38,9 @@ func TestBlockStatePreconditioning(t *testing.T) {
 	cond := c.Condition(b, 55)
 	if cond.PEC != 1500 || cond.RetentionMonths != 6 || cond.TempC != 55 {
 		t.Errorf("condition %+v", cond)
+	}
+	if c.Temp() != 55 {
+		t.Errorf("resident temperature = %g, want 55", c.Temp())
 	}
 }
 
@@ -84,13 +87,13 @@ func TestReadRetryFreshVsAged(t *testing.T) {
 	c := testChip(t)
 	addr := nand.Address{Die: 0, Plane: 0, Block: 3, Page: 10}
 
-	c.SetCondition(0, 0)
+	c.SetCondition(0, 0, 30)
 	fresh := c.ReadRetry(addr, 30)
 	if fresh.RetrySteps != 0 || fresh.Failed {
 		t.Errorf("fresh read: %+v, want 0 retries", fresh)
 	}
 
-	c.SetCondition(2000, 12)
+	c.SetCondition(2000, 12, 30)
 	aged := c.ReadRetry(addr, 30)
 	if aged.RetrySteps < 15 {
 		t.Errorf("aged read took only %d retries, want many", aged.RetrySteps)
@@ -112,7 +115,7 @@ func TestReadRetryPanicsOnBadAddress(t *testing.T) {
 
 func TestStepErrorsDecreaseTowardSuccess(t *testing.T) {
 	c := testChip(t)
-	c.SetCondition(2000, 12)
+	c.SetCondition(2000, 12, 30)
 	addr := nand.Address{Die: 0, Plane: 0, Block: 7, Page: 4}
 	res := c.ReadRetry(addr, 85)
 	n := res.RetrySteps
@@ -129,7 +132,7 @@ func TestStepErrorsDecreaseTowardSuccess(t *testing.T) {
 
 func TestProgramResetsRetention(t *testing.T) {
 	c := testChip(t)
-	c.SetCondition(1000, 9)
+	c.SetCondition(1000, 9, 30)
 	addr := nand.Address{Die: 0, Plane: 0, Block: 5, Page: 0}
 	if lat := c.Program(addr); lat != 700*sim.Microsecond {
 		t.Errorf("tPROG = %v", lat)
@@ -166,7 +169,7 @@ func TestFleetSharedModelDistinctChips(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	f.SetCondition(1000, 6)
+	f.SetCondition(1000, 6, 30)
 	addr := nand.Address{Die: 0, Plane: 0, Block: 2, Page: 5}
 	// Same address on different chips shows process variation but the same
 	// underlying model.
@@ -196,7 +199,7 @@ func TestDefaultFleetMatchesPaperScale(t *testing.T) {
 
 func TestReadRetryDeterministicAcrossCalls(t *testing.T) {
 	c := testChip(t)
-	c.SetCondition(1000, 3)
+	c.SetCondition(1000, 3, 30)
 	addr := nand.Address{Die: 0, Plane: 1, Block: 100, Page: 33}
 	a := c.ReadRetry(addr, 55)
 	b := c.ReadRetry(addr, 55)

@@ -54,7 +54,7 @@ func TestFastPathMatchesModel(t *testing.T) {
 	}
 
 	compare("fresh", 30)
-	apply(func(c *Chip) { c.SetCondition(2000, 12) })
+	apply(func(c *Chip) { c.SetCondition(2000, 12, 30) })
 	compare("aged", 30)
 	compare("aged hot", 85)
 
@@ -73,6 +73,55 @@ func TestFastPathMatchesModel(t *testing.T) {
 	compare("default timing restored", 30)
 }
 
+// TestSetConditionTemperatureInvalidatesProfile changes ONLY the operating
+// temperature through SetCondition and checks that the next read at the
+// resident temperature matches the direct model path — i.e. the active
+// profile primed at the old ambient is dropped, never reused. Before
+// temperature joined the condition set/invalidate path, a chip's ambient
+// was fixed at construction, so a per-cell temperature override had no
+// supported route that was guaranteed to invalidate the memoized profile.
+func TestSetConditionTemperatureInvalidatesProfile(t *testing.T) {
+	model := vth.NewModel(vth.DefaultParams(), 7)
+	fast, err := New(nand.DefaultGeometry(), nand.DefaultTiming(), model, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	slow, err := New(nand.DefaultGeometry(), nand.DefaultTiming(), model, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	slow.SetFastPath(false)
+	a := nand.Address{Plane: 1, Block: 17, Page: 9}
+
+	fast.SetCondition(2000, 12, 85)
+	slow.SetCondition(2000, 12, 85)
+	hot := fast.ReadRetry(a, fast.Temp()) // primes the 85 °C profile
+	if fast.active == nil || fast.activeKey.cond.TempC != 85 {
+		t.Fatalf("active profile not primed at 85 °C: %+v", fast.activeKey)
+	}
+
+	fast.SetCondition(2000, 12, 30) // temperature-only change
+	slow.SetCondition(2000, 12, 30)
+	if fast.Temp() != 30 {
+		t.Fatalf("resident temperature = %g after SetCondition, want 30", fast.Temp())
+	}
+	if fast.active != nil {
+		t.Fatal("temperature-only SetCondition left the active profile in place")
+	}
+	cold := fast.ReadRetry(a, fast.Temp())
+	if want := slow.ReadRetry(a, slow.Temp()); cold != want {
+		t.Fatalf("read after temperature change = %+v, direct model says %+v (stale profile?)", cold, want)
+	}
+	// The test has power only if the ambient actually moves the outcome at
+	// this condition: cold reads add floor errors at (2K, 12 mo).
+	if cold == hot {
+		t.Fatalf("30 °C and 85 °C reads identical (%+v); temperature not reaching the model", cold)
+	}
+	if fast.activeKey.cond.TempC != 30 {
+		t.Fatalf("active profile re-keyed to %+v, want TempC 30", fast.activeKey)
+	}
+}
+
 // TestProfileMemoization checks that repeated reads under one condition reuse
 // a single profile and that the memo holds one entry per distinct
 // (condition, reduction) pair rather than growing per read.
@@ -82,7 +131,7 @@ func TestProfileMemoization(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	c.SetCondition(1000, 3)
+	c.SetCondition(1000, 3, 30)
 	a := nand.Address{Plane: 0, Block: 1, Page: 2}
 	for i := 0; i < 50; i++ {
 		c.ReadRetry(a, 30)

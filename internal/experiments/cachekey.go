@@ -9,26 +9,39 @@ import (
 
 // cacheKeySchema versions the key derivation. Bump it whenever the cached
 // payload or the meaning of a hashed field changes, so an on-disk tier
-// written by an older engine can never satisfy a newer lookup.
-const cacheKeySchema = "readretry-cell-v1"
+// written by an older engine can never satisfy a newer lookup. v2 added
+// the condition's operating temperature to the hashed fields: a v1 (2-D)
+// entry, which never saw a temperature, must not alias any cell of a 3-D
+// grid — not even the default-temperature ones, since "default" now means
+// "the Base.TempC this key already hashes" rather than "the only
+// possibility".
+const cacheKeySchema = "readretry-cell-v2"
 
 // cellKey derives the content address of one sweep cell: a lowercase hex
 // SHA-256 over everything the cell's measurement is a function of —
-// the workload name, the operating condition, the variant's behavior
-// (scheme and PSO; the display Name is deliberately excluded, so renaming
-// a column keeps its cells), the trace shape (Seed, Requests, IOPS), and
-// the full device template. The device config is folded in via its JSON
-// encoding, which is deterministic for ssd.Config's plain value fields;
-// any field change — geometry, timing, ECC, model params, scheduler
-// toggles — therefore changes the key.
+// the workload name, the operating condition (PEC, retention age, and the
+// cell's temperature override, 0 when it inherits Base.TempC), the
+// variant's behavior (scheme and PSO; the display Name is deliberately
+// excluded, so renaming a column keeps its cells), the trace shape (Seed,
+// Requests, IOPS), and the full device template. The device config is
+// folded in via its JSON encoding, which is deterministic for ssd.Config's
+// plain value fields; any field change — geometry, timing, ECC, model
+// params, scheduler toggles — therefore changes the key.
 func cellKey(cfg Config, wl string, cond Condition, v Variant) (string, error) {
+	return cellKeyWithSchema(cacheKeySchema, cfg, wl, cond, v)
+}
+
+// cellKeyWithSchema is cellKey with the schema tag injectable, so the
+// cross-schema regression tests can derive keys an older engine would
+// have written and prove they never satisfy current lookups.
+func cellKeyWithSchema(schema string, cfg Config, wl string, cond Condition, v Variant) (string, error) {
 	dev, err := json.Marshal(cfg.Base)
 	if err != nil {
 		return "", fmt.Errorf("experiments: hashing device config: %w", err)
 	}
 	h := sha256.New()
-	fmt.Fprintf(h, "%s\x00%s\x00%d\x00%g\x00%d\x00%t\x00%d\x00%d\x00%g\x00",
-		cacheKeySchema, wl, cond.PEC, cond.Months, v.Scheme, v.PSO,
+	fmt.Fprintf(h, "%s\x00%s\x00%d\x00%g\x00%g\x00%d\x00%t\x00%d\x00%d\x00%g\x00",
+		schema, wl, cond.PEC, cond.Months, cond.TempC, v.Scheme, v.PSO,
 		cfg.Seed, cfg.Requests, cfg.IOPS)
 	h.Write(dev)
 	return hex.EncodeToString(h.Sum(nil)), nil

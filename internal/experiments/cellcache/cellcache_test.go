@@ -47,6 +47,37 @@ func TestDiskPersistsAcrossInstances(t *testing.T) {
 	}
 }
 
+// TestCrossSchemaKeysNeverAlias: the engine versions its key derivation
+// with a schema tag, so entries written under one schema reach the cache
+// under different digests than any other schema's lookups. The cache's
+// side of that contract is exact-key matching — a stored entry must never
+// satisfy a lookup under any other key, however similar.
+func TestCrossSchemaKeysNeverAlias(t *testing.T) {
+	oldKey := key
+	newKey := "f" + key[1:] // same length and charset, one digit apart
+	for name, c := range map[string]func(t *testing.T) Cache{
+		"memory": func(t *testing.T) Cache { return Memory() },
+		"disk": func(t *testing.T) Cache {
+			d, err := Disk(t.TempDir())
+			if err != nil {
+				t.Fatal(err)
+			}
+			return d
+		},
+	} {
+		t.Run(name, func(t *testing.T) {
+			cache := c(t)
+			cache.Put(oldKey, sample)
+			if _, ok := cache.Get(newKey); ok {
+				t.Fatal("entry stored under one key satisfied a lookup under another")
+			}
+			if got, ok := cache.Get(oldKey); !ok || got != sample {
+				t.Fatalf("exact-key lookup = %+v, %v", got, ok)
+			}
+		})
+	}
+}
+
 func TestDiskCorruptEntryIsAMiss(t *testing.T) {
 	dir := t.TempDir()
 	c, err := Disk(dir)

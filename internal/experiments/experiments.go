@@ -10,6 +10,7 @@ import (
 	"context"
 	"fmt"
 	"io"
+	"math"
 	"sort"
 	"strings"
 
@@ -21,19 +22,79 @@ import (
 	"readretry/internal/workload"
 )
 
-// Condition is one (PEC, retention) evaluation point of Figures 14/15.
+// Condition is one (PEC, retention, temperature) evaluation point of
+// Figures 14/15. TempC is the operating temperature reads execute at;
+// the zero value is a sentinel meaning "the device template's default"
+// (Config.Base.TempC), which keeps temperature-less grids — the paper's
+// original 2-D sweep — identical to what they always were. A non-zero
+// TempC overrides the device temperature for that cell only, turning the
+// grid into the 3-D PEC × retention × temperature sweep the error model
+// (internal/vth) is calibrated for. To sweep a literal 0 °C point, set
+// Base.TempC instead of the sentinel.
 type Condition struct {
 	PEC    int
 	Months float64
+	TempC  float64
 }
 
+// MinTempC and MaxTempC bound the explicit operating temperatures a sweep
+// accepts — the industrial NAND range the error model's temperature terms
+// are calibrated over.
+const (
+	MinTempC = -40.0
+	MaxTempC = 125.0
+)
+
 // String formats the condition as the figures label it: the PEC in
-// thousands with "K" ("2K/6mo"). The kilocycle value renders exactly —
-// 500 is "0.5K", 1500 is "1.5K" — so distinct conditions always produce
-// distinct labels (integer division here used to truncate any PEC that
-// was not a multiple of 1000, collapsing e.g. 500 and 999 into "0K").
+// thousands with "K" ("2K/6mo"), with the operating temperature appended
+// when the condition carries one ("2K/6mo/85C"). Every numeric field
+// renders exactly — 500 is "0.5K", 1500 is "1.5K" — and the temperature
+// suffix appears iff TempC is non-zero, so distinct conditions always
+// produce distinct labels (integer division here used to truncate any PEC
+// that was not a multiple of 1000, collapsing e.g. 500 and 999 into "0K").
 func (c Condition) String() string {
-	return fmt.Sprintf("%gK/%gmo", float64(c.PEC)/1000, c.Months)
+	if c.TempC == 0 {
+		return fmt.Sprintf("%gK/%gmo", float64(c.PEC)/1000, c.Months)
+	}
+	return fmt.Sprintf("%gK/%gmo/%gC", float64(c.PEC)/1000, c.Months, c.TempC)
+}
+
+// Validate reports whether the condition is physically meaningful: a
+// non-negative P/E-cycle count, a finite non-negative retention age, and a
+// temperature that is either the "device default" sentinel (0) or a finite
+// value within [MinTempC, MaxTempC]. The vth model silently accepts
+// nonsense (a negative retention age just shrinks the drift), so the sweep
+// engine rejects it up front instead of spending grid time on it.
+func (c Condition) Validate() error {
+	if c.PEC < 0 {
+		return fmt.Errorf("experiments: condition %s: negative PEC %d", c, c.PEC)
+	}
+	if math.IsNaN(c.Months) || math.IsInf(c.Months, 0) || c.Months < 0 {
+		return fmt.Errorf("experiments: condition %s: invalid retention age %g months", c, c.Months)
+	}
+	if c.TempC != 0 && (math.IsNaN(c.TempC) || c.TempC < MinTempC || c.TempC > MaxTempC) {
+		return fmt.Errorf("experiments: condition %s: temperature %g°C outside [%g, %g]",
+			c, c.TempC, MinTempC, MaxTempC)
+	}
+	return nil
+}
+
+// CrossTemps expands a condition grid across a temperature axis: every
+// condition is repeated once per temperature (condition-major, so all
+// temperatures of one (PEC, retention) point are adjacent), with its TempC
+// overridden. It is how Config.Temps builds the 3-D grid.
+func CrossTemps(conds []Condition, temps []float64) []Condition {
+	if len(temps) == 0 {
+		return conds
+	}
+	out := make([]Condition, 0, len(conds)*len(temps))
+	for _, c := range conds {
+		for _, t := range temps {
+			c.TempC = t
+			out = append(out, c)
+		}
+	}
+	return out
 }
 
 // Config parameterizes a sweep.
@@ -43,8 +104,18 @@ type Config struct {
 	// Workloads are Table 2 names; nil selects all twelve.
 	Workloads []string
 	// Conditions are the (PEC, t_RET) grid; nil selects the default
-	// {1K, 2K} × {0, 1, 3, 6, 12} months.
+	// {1K, 2K} × {0, 1, 3, 6, 12} months. Each condition may carry its own
+	// operating temperature (Condition.TempC); 0 inherits Base.TempC.
 	Conditions []Condition
+	// Temps, when non-empty, crosses the condition grid with an operating-
+	// temperature axis: every condition runs once per listed temperature
+	// (CrossTemps), making the sweep the 3-D PEC × retention × temperature
+	// grid. Temperatures must be non-zero (0 is the "device default"
+	// sentinel — change Base.TempC instead) and within [MinTempC, MaxTempC],
+	// and the conditions themselves must then be temperature-less (a
+	// condition pinning its own TempC alongside Temps is rejected as
+	// ambiguous). Empty preserves the 2-D grid exactly.
+	Temps []float64
 	// Requests per run and the workload arrival rate.
 	Requests int
 	IOPS     float64
@@ -80,8 +151,10 @@ func DefaultConfig() Config {
 		Base:      ssd.ExperimentConfig(),
 		Workloads: workload.Names(),
 		Conditions: []Condition{
-			{1000, 0}, {1000, 1}, {1000, 3}, {1000, 6}, {1000, 12},
-			{2000, 0}, {2000, 1}, {2000, 3}, {2000, 6}, {2000, 12},
+			{PEC: 1000, Months: 0}, {PEC: 1000, Months: 1}, {PEC: 1000, Months: 3},
+			{PEC: 1000, Months: 6}, {PEC: 1000, Months: 12},
+			{PEC: 2000, Months: 0}, {PEC: 2000, Months: 1}, {PEC: 2000, Months: 3},
+			{PEC: 2000, Months: 6}, {PEC: 2000, Months: 12},
 		},
 		Requests: 2500,
 		IOPS:     1200,
@@ -93,9 +166,31 @@ func DefaultConfig() Config {
 func QuickConfig() Config {
 	cfg := DefaultConfig()
 	cfg.Workloads = []string{"stg_0", "mds_1", "YCSB-C"}
-	cfg.Conditions = []Condition{{1000, 3}, {2000, 6}}
+	cfg.Conditions = []Condition{{PEC: 1000, Months: 3}, {PEC: 2000, Months: 6}}
 	cfg.Requests = 1200
 	return cfg
+}
+
+// conditions resolves the sweep's effective condition grid: the configured
+// (or default) conditions, expanded across the Temps axis when one is set.
+func (cfg Config) conditions() []Condition {
+	conds := cfg.Conditions
+	if conds == nil {
+		conds = DefaultConfig().Conditions
+	}
+	return CrossTemps(conds, cfg.Temps)
+}
+
+// HasTemperatureAxis reports whether any cell of the sweep's effective
+// grid carries an explicit operating temperature — i.e. whether outputs
+// need the temperature column (see NewCSVSinkFor).
+func (cfg Config) HasTemperatureAxis() bool {
+	for _, c := range cfg.conditions() {
+		if c.TempC != 0 {
+			return true
+		}
+	}
+	return false
 }
 
 // Cell is one bar of Figure 14/15: a (workload, condition, configuration)
@@ -145,6 +240,9 @@ func runOne(cfg Config, recs []trace.Record, cond Condition, scheme core.Scheme,
 	devCfg.UsePSO = usePSO
 	devCfg.PEC = cond.PEC
 	devCfg.RetentionMonths = cond.Months
+	if cond.TempC != 0 {
+		devCfg.TempC = cond.TempC
+	}
 	dev, err := ssd.New(devCfg)
 	if err != nil {
 		return nil, err
@@ -280,6 +378,46 @@ func (r *Result) ReductionAt(config, reference string, cond Condition) float64 {
 	return stats.Mean()
 }
 
+// TempReduction is one row of ReductionByTemp: config's response-time
+// reduction over the reference across every cell measured at one operating
+// temperature. TempC 0 groups the cells that ran at the device default
+// (a temperature-less grid has exactly one such row).
+type TempReduction struct {
+	TempC float64
+	Avg   float64
+	Max   float64
+}
+
+// ReductionByTemp returns the response-time reduction of config vs the
+// reference grouped by the condition grid's temperature axis, coldest
+// first — how much each scheme's win shifts from e.g. 25 °C to 85 °C
+// (low temperature is where the error model adds floor errors and timing
+// penalties, so threshold-tuning schemes differentiate most there).
+func (r *Result) ReductionByTemp(config, reference string) []TempReduction {
+	ref := r.meansBy(reference)
+	byTemp := map[float64]*mathx.Running{}
+	var temps []float64
+	for _, c := range r.cells(config) {
+		base, ok := ref[condKey{c.Workload, c.Cond}]
+		if !ok || base == 0 {
+			continue
+		}
+		s := byTemp[c.Cond.TempC]
+		if s == nil {
+			s = &mathx.Running{}
+			byTemp[c.Cond.TempC] = s
+			temps = append(temps, c.Cond.TempC)
+		}
+		s.Add(1 - c.Mean/base)
+	}
+	sort.Float64s(temps)
+	out := make([]TempReduction, 0, len(temps))
+	for _, t := range temps {
+		out = append(out, TempReduction{TempC: t, Avg: byTemp[t].Mean(), Max: byTemp[t].Max()})
+	}
+	return out
+}
+
 // Render writes the sweep as an aligned text table: one row per
 // (workload, condition), one column per configuration, normalized values.
 func (r *Result) Render(w io.Writer) {
@@ -304,16 +442,27 @@ func (r *Result) Render(w io.Writer) {
 		if keys[i].cond.PEC != keys[j].cond.PEC {
 			return keys[i].cond.PEC < keys[j].cond.PEC
 		}
-		return keys[i].cond.Months < keys[j].cond.Months
+		if keys[i].cond.Months != keys[j].cond.Months {
+			return keys[i].cond.Months < keys[j].cond.Months
+		}
+		return keys[i].cond.TempC < keys[j].cond.TempC
 	})
-	fmt.Fprintf(w, "%-10s %-9s", "workload", "cond")
+	// The condition column widens only when a label needs it (temperature
+	// suffixes), so temperature-less tables render exactly as before.
+	condW := 9
+	for _, k := range keys {
+		if n := len(k.cond.String()); n > condW {
+			condW = n
+		}
+	}
+	fmt.Fprintf(w, "%-10s %-*s", "workload", condW, "cond")
 	for _, cfg := range r.Configs {
 		fmt.Fprintf(w, " %10s", cfg)
 	}
 	fmt.Fprintln(w)
-	fmt.Fprintln(w, strings.Repeat("-", 20+11*len(r.Configs)))
+	fmt.Fprintln(w, strings.Repeat("-", 11+condW+11*len(r.Configs)))
 	for _, k := range keys {
-		fmt.Fprintf(w, "%-10s %-9s", k.wl, k.cond.String())
+		fmt.Fprintf(w, "%-10s %-*s", k.wl, condW, k.cond.String())
 		for _, cfg := range r.Configs {
 			fmt.Fprintf(w, " %10.3f", rows[k][cfg])
 		}
@@ -332,15 +481,28 @@ func workloadOrder(name string) int {
 
 // WriteCSV emits the raw cells as CSV (one measurement per row) for
 // external plotting: workload, pec, months, config, mean_us, mean_read_us,
-// p99_read_us, normalized, retry_steps. It shares its header and row
-// formatting with the streaming CSVSink, whose output is byte-identical
-// for the same grid.
+// p99_read_us, normalized, retry_steps — with a temp_c column after months
+// iff any cell carries an explicit operating temperature, so
+// temperature-less grids keep their historical byte-exact schema. It
+// shares its header and row formatting with the streaming CSVSink, whose
+// output is byte-identical for the same grid.
 func (r *Result) WriteCSV(w io.Writer) error {
-	if _, err := fmt.Fprintln(w, csvHeader); err != nil {
+	withTemp := false
+	for _, c := range r.Cells {
+		if c.Cond.TempC != 0 {
+			withTemp = true
+			break
+		}
+	}
+	header := csvHeader
+	if withTemp {
+		header = csvHeaderTemp
+	}
+	if _, err := fmt.Fprintln(w, header); err != nil {
 		return err
 	}
 	for _, c := range r.Cells {
-		if err := writeCSVRow(w, c); err != nil {
+		if err := writeCSVRow(w, c, withTemp); err != nil {
 			return err
 		}
 	}

@@ -189,13 +189,13 @@ func TestRenderProducesTable(t *testing.T) {
 
 func TestReductionAtCondition(t *testing.T) {
 	res := fig14(t)
-	at := res.ReductionAt("PnAR2", "Baseline", Condition{2000, 6})
+	at := res.ReductionAt("PnAR2", "Baseline", Condition{PEC: 2000, Months: 6})
 	if at <= 0 {
 		t.Errorf("PnAR2 reduction at (2K, 6mo) = %v, want positive", at)
 	}
 	// The worse condition should show a bigger win than the milder one
 	// (§7.2 observation 3).
-	milder := res.ReductionAt("PnAR2", "Baseline", Condition{1000, 3})
+	milder := res.ReductionAt("PnAR2", "Baseline", Condition{PEC: 1000, Months: 3})
 	if at <= milder {
 		t.Errorf("reduction at (2K,6mo)=%.3f should exceed (1K,3mo)=%.3f", at, milder)
 	}

@@ -28,16 +28,28 @@ type CellSinkFunc func(c Cell, index, total int) error
 // Cell implements CellSink.
 func (f CellSinkFunc) Cell(c Cell, index, total int) error { return f(c, index, total) }
 
-// csvHeader is the one header row both CSV paths emit.
-const csvHeader = "workload,pec,months,config,mean_us,mean_read_us,p99_read_us,normalized,retry_steps"
+// csvHeader is the header row of a temperature-less grid; csvHeaderTemp is
+// the 3-D schema with the temp_c axis column. Both CSV paths (streaming
+// and buffered) pick the same one for the same grid.
+const (
+	csvHeader     = "workload,pec,months,config,mean_us,mean_read_us,p99_read_us,normalized,retry_steps"
+	csvHeaderTemp = "workload,pec,months,temp_c,config,mean_us,mean_read_us,p99_read_us,normalized,retry_steps"
+)
 
 // writeCSVRow formats one cell exactly as Result.WriteCSV does; the
 // streaming and buffered encoders share it so their output is
-// byte-identical.
-func writeCSVRow(w io.Writer, c Cell) error {
-	_, err := fmt.Fprintf(w, "%s,%d,%g,%s,%.2f,%.2f,%.2f,%.4f,%.2f\n",
-		c.Workload, c.Cond.PEC, c.Cond.Months, c.Config,
-		c.Mean, c.MeanRead, c.P99Read, c.Normalized, c.RetrySteps)
+// byte-identical. withTemp selects the 3-D schema (temp_c after months).
+func writeCSVRow(w io.Writer, c Cell, withTemp bool) error {
+	var err error
+	if withTemp {
+		_, err = fmt.Fprintf(w, "%s,%d,%g,%g,%s,%.2f,%.2f,%.2f,%.4f,%.2f\n",
+			c.Workload, c.Cond.PEC, c.Cond.Months, c.Cond.TempC, c.Config,
+			c.Mean, c.MeanRead, c.P99Read, c.Normalized, c.RetrySteps)
+	} else {
+		_, err = fmt.Fprintf(w, "%s,%d,%g,%s,%.2f,%.2f,%.2f,%.4f,%.2f\n",
+			c.Workload, c.Cond.PEC, c.Cond.Months, c.Config,
+			c.Mean, c.MeanRead, c.P99Read, c.Normalized, c.RetrySteps)
+	}
 	return err
 }
 
@@ -46,20 +58,46 @@ func writeCSVRow(w io.Writer, c Cell) error {
 // output is byte-identical to Result.WriteCSV at every parallelism
 // setting.
 type CSVSink struct {
-	w io.Writer
+	w    io.Writer
+	temp bool
 }
 
-// NewCSVSink writes the CSV header to w and returns a sink that appends
-// one row per cell.
+// NewCSVSink writes the temperature-less CSV header to w and returns a
+// sink that appends one row per cell. For a grid that sweeps temperature,
+// use NewCSVSinkFor, which picks the schema the buffered WriteCSV would.
 func NewCSVSink(w io.Writer) (*CSVSink, error) {
-	if _, err := fmt.Fprintln(w, csvHeader); err != nil {
+	return newCSVSink(w, false)
+}
+
+// NewCSVSinkFor is NewCSVSink with the schema chosen from the sweep
+// configuration: grids whose conditions carry explicit temperatures get
+// the temp_c column (matching what Result.WriteCSV emits for the same
+// grid), and temperature-less grids keep the historical schema.
+func NewCSVSinkFor(cfg Config, w io.Writer) (*CSVSink, error) {
+	return newCSVSink(w, cfg.HasTemperatureAxis())
+}
+
+func newCSVSink(w io.Writer, withTemp bool) (*CSVSink, error) {
+	header := csvHeader
+	if withTemp {
+		header = csvHeaderTemp
+	}
+	if _, err := fmt.Fprintln(w, header); err != nil {
 		return nil, err
 	}
-	return &CSVSink{w: w}, nil
+	return &CSVSink{w: w, temp: withTemp}, nil
 }
 
-// Cell implements CellSink.
-func (s *CSVSink) Cell(c Cell, index, total int) error { return writeCSVRow(s.w, c) }
+// Cell implements CellSink. A temperature-carrying cell arriving at a
+// temperature-less sink is a configuration error — silently dropping the
+// temp_c column would make the grid's rows ambiguous and break the
+// byte-identity contract with Result.WriteCSV — so it aborts the sweep.
+func (s *CSVSink) Cell(c Cell, index, total int) error {
+	if c.Cond.TempC != 0 && !s.temp {
+		return fmt.Errorf("cell %s carries a temperature but the sink has the 2-D schema; construct it with NewCSVSinkFor", c.Cond)
+	}
+	return writeCSVRow(s.w, c, s.temp)
+}
 
 // resequencer restores canonical order between the worker pool and the
 // sink: workers deliver cells at arbitrary grid indices, and the

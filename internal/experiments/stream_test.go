@@ -229,7 +229,7 @@ func TestCacheGrownGridOnlySimulatesNewCells(t *testing.T) {
 	}
 
 	grown := cfg
-	grown.Conditions = append(append([]Condition{}, cfg.Conditions...), Condition{1000, 3})
+	grown.Conditions = append(append([]Condition{}, cfg.Conditions...), Condition{PEC: 1000, Months: 3})
 	added := len(grown.Workloads) * 1 * len(Figure14Variants())
 	if _, sims := runCounting(t, grown, Figure14Variants()); sims != added {
 		t.Errorf("grown grid simulated %d cells, want only the %d new ones", sims, added)

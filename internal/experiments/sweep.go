@@ -54,7 +54,10 @@ type sharedTrace struct {
 // RunSweep executes the full (workload × condition × variant) grid through
 // the SSD simulator and returns the collected cells in canonical order:
 // workload-major, then condition, then variant — the same order the original
-// serial loops produced.
+// serial loops produced. When cfg.Temps is set the condition axis is first
+// expanded across it (CrossTemps), making the grid the 3-D
+// PEC × retention × temperature sweep; each cell's device then runs at its
+// condition's temperature instead of the Base template's.
 //
 // Every cell is an independent simulation, so the engine fans them out over
 // a worker pool bounded by cfg.Parallelism (0 selects runtime.GOMAXPROCS).
@@ -89,14 +92,34 @@ func RunSweep(ctx context.Context, cfg Config, variants []Variant) (*Result, err
 	if wls == nil {
 		wls = workload.Names()
 	}
-	conds := cfg.Conditions
-	if conds == nil {
-		conds = DefaultConfig().Conditions
-	}
-	// Validate the roster upfront so an unknown workload fails before any
-	// simulation spends time, and independently of worker scheduling.
+	conds := cfg.conditions()
+	// Validate the roster and the condition grid upfront so an unknown
+	// workload or a physically meaningless condition (negative PEC or
+	// retention age, out-of-range temperature — the vth model would
+	// silently accept them) fails before any simulation spends time, and
+	// independently of worker scheduling.
 	for _, wl := range wls {
 		if _, err := workload.ByName(wl); err != nil {
+			return nil, err
+		}
+	}
+	for _, t := range cfg.Temps {
+		if t == 0 {
+			return nil, errors.New("experiments: Temps must not contain 0 (the \"device default\" sentinel); set Base.TempC to change the default temperature instead")
+		}
+	}
+	if len(cfg.Temps) > 0 {
+		// Crossing overwrites each condition's TempC; a condition that
+		// already pins one would be silently re-measured elsewhere, so the
+		// ambiguous combination is rejected rather than guessed at.
+		for _, c := range cfg.Conditions {
+			if c.TempC != 0 {
+				return nil, fmt.Errorf("experiments: condition %s pins a temperature while Temps is set; use one axis or the other", c)
+			}
+		}
+	}
+	for _, c := range conds {
+		if err := c.Validate(); err != nil {
 			return nil, err
 		}
 	}

@@ -16,7 +16,7 @@ import (
 func tinySweepConfig(seed uint64) Config {
 	cfg := QuickConfig()
 	cfg.Workloads = []string{"stg_0", "YCSB-C"}
-	cfg.Conditions = []Condition{{2000, 6}}
+	cfg.Conditions = []Condition{{PEC: 2000, Months: 6}}
 	cfg.Requests = 400
 	cfg.Seed = seed
 	return cfg

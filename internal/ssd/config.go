@@ -14,6 +14,7 @@ package ssd
 
 import (
 	"fmt"
+	"math"
 
 	"readretry/internal/core"
 	"readretry/internal/ecc"
@@ -45,7 +46,10 @@ type Config struct {
 
 	// PEC and RetentionMonths precondition every block — the operating
 	// condition axis of Figures 14 and 15. TempC is the ambient
-	// temperature reads execute at.
+	// temperature reads execute at; the sweep engine overrides it per cell
+	// when a condition carries an explicit temperature, making the grid
+	// three-dimensional. It must lie within the industrial range the error
+	// model is calibrated for ([-40, 125] °C).
 	PEC             int
 	RetentionMonths float64
 	TempC           float64
@@ -156,6 +160,14 @@ func (c Config) Validate() error {
 	}
 	if err := c.RPT.Validate(); err != nil {
 		return err
+	}
+	if math.IsNaN(c.TempC) || c.TempC < -40 || c.TempC > 125 {
+		return fmt.Errorf("ssd: TempC %g°C outside the calibrated [-40, 125] range", c.TempC)
+	}
+	if c.PEC < 0 || c.RetentionMonths < 0 ||
+		math.IsNaN(c.RetentionMonths) || math.IsInf(c.RetentionMonths, 0) {
+		return fmt.Errorf("ssd: invalid operating condition (PEC %d, %g months)",
+			c.PEC, c.RetentionMonths)
 	}
 	if c.ReducedRegularReads && !c.Scheme.Adaptive() {
 		return fmt.Errorf("ssd: ReducedRegularReads requires an adaptive scheme (AR2/PnAR2), got %v", c.Scheme)

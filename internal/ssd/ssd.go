@@ -51,7 +51,7 @@ func New(cfg Config) (*SSD, error) {
 			return nil, err
 		}
 		c.SetFastPath(!cfg.DisableReadFastPath)
-		c.SetCondition(cfg.PEC, cfg.RetentionMonths)
+		c.SetCondition(cfg.PEC, cfg.RetentionMonths, cfg.TempC)
 		s.chips = append(s.chips, c)
 		s.dies = append(s.dies, &die{id: d, channel: d / cfg.DiesPerChannel})
 	}
@@ -406,17 +406,20 @@ func (s *SSD) resolveRead(c *chip.Chip, addr nand.Address) readOutcome {
 		}
 	}
 
+	// The chip's resident temperature (established by SetCondition at
+	// construction) is authoritative for the simulated device's reads, so a
+	// per-cell temperature override in the sweep flows through one place.
 	var reg nand.FeatureRegister
 	reg.Set(nand.FractionLevel(red.Pre), 0, 0)
 	c.SetFeature(reg)
-	res := c.ReadRetry(addr, s.cfg.TempC)
+	res := c.ReadRetry(addr, c.Temp())
 	c.ResetFeature()
 
 	out.nrr = res.RetrySteps
 	if res.Failed {
 		// §6.2's worst case: re-read with default timing.
 		out.fallback = true
-		fb := c.ReadRetry(addr, s.cfg.TempC) // default register now restored
+		fb := c.ReadRetry(addr, c.Temp()) // default register now restored
 		out.fbNRR = fb.RetrySteps
 	}
 	switch {
@@ -426,7 +429,7 @@ func (s *SSD) resolveRead(c *chip.Chip, addr nand.Address) readOutcome {
 		// position instead of walking from the default V_REF (the
 		// Sentinel-style approach [56], driven by the error model).
 		st := c.Block(addr.BlockOf())
-		cond := vth.Condition{PEC: st.PEC, RetentionMonths: st.RetentionMonths, TempC: s.cfg.TempC}
+		cond := vth.Condition{PEC: st.PEC, RetentionMonths: st.RetentionMonths, TempC: c.Temp()}
 		predicted := int(c.Model().Drift(cond) + 0.5)
 		dist := out.nrr - predicted
 		if dist < 0 {

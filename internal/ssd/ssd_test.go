@@ -1,6 +1,7 @@
 package ssd
 
 import (
+	"math"
 	"testing"
 
 	"readretry/internal/core"
@@ -62,6 +63,21 @@ func TestConfigValidation(t *testing.T) {
 	bad.GCThresholdBlocks = 0
 	if bad.Validate() == nil {
 		t.Error("zero GC threshold should fail")
+	}
+	for name, mutate := range map[string]func(*Config){
+		"temperature below range": func(c *Config) { c.TempC = -60 },
+		"temperature above range": func(c *Config) { c.TempC = 200 },
+		"NaN temperature":         func(c *Config) { c.TempC = math.NaN() },
+		"negative PEC":            func(c *Config) { c.PEC = -1 },
+		"negative retention":      func(c *Config) { c.RetentionMonths = -5 },
+		"NaN retention":           func(c *Config) { c.RetentionMonths = math.NaN() },
+		"infinite retention":      func(c *Config) { c.RetentionMonths = math.Inf(1) },
+	} {
+		bad = DefaultConfig()
+		mutate(&bad)
+		if bad.Validate() == nil {
+			t.Errorf("%s should fail validation", name)
+		}
 	}
 }
 

@@ -230,8 +230,12 @@ type (
 	SweepConfig = experiments.Config
 	// SweepResult holds the measured cells and summary statistics.
 	SweepResult = experiments.Result
-	// SweepCondition is one (PEC, retention) evaluation point.
+	// SweepCondition is one (PEC, retention, temperature) evaluation
+	// point; TempC 0 inherits the device template's temperature.
 	SweepCondition = experiments.Condition
+	// SweepTempReduction is one row of SweepResult.ReductionByTemp: a
+	// scheme's response-time reduction at one operating temperature.
+	SweepTempReduction = experiments.TempReduction
 	// SweepVariant is one configuration column of a sweep.
 	SweepVariant = experiments.Variant
 	// SweepCell is one measured (workload, condition, configuration) cell.
@@ -254,8 +258,25 @@ type (
 )
 
 // NewSweepCSVSink writes the CSV header to w and returns a sink that
-// streams one row per cell as the sweep releases it.
+// streams one row per cell as the sweep releases it (temperature-less
+// schema; see NewSweepCSVSinkFor).
 func NewSweepCSVSink(w io.Writer) (*SweepCSVSink, error) { return experiments.NewCSVSink(w) }
+
+// NewSweepCSVSinkFor is NewSweepCSVSink with the CSV schema chosen from
+// the sweep configuration: grids that sweep temperature (SweepConfig.Temps
+// or per-condition TempC) gain a temp_c column, matching what the buffered
+// SweepResult.WriteCSV emits for the same grid.
+func NewSweepCSVSinkFor(cfg SweepConfig, w io.Writer) (*SweepCSVSink, error) {
+	return experiments.NewCSVSinkFor(cfg, w)
+}
+
+// CrossTemps expands a condition grid across an operating-temperature
+// axis: every condition repeats once per temperature with its TempC set —
+// the 3-D PEC × retention × temperature grid SweepConfig.Temps builds
+// implicitly.
+func CrossTemps(conds []SweepCondition, temps []float64) []SweepCondition {
+	return experiments.CrossTemps(conds, temps)
+}
 
 // NewSweepCache returns an in-memory per-cell cache, living as long as
 // the process.
@@ -286,7 +307,9 @@ func Figure14Variants() []SweepVariant { return experiments.Figure14Variants() }
 func Figure15Variants() []SweepVariant { return experiments.Figure15Variants() }
 
 // RunSweep executes an arbitrary (workload × condition × variant) grid on
-// the parallel sweep engine: cells fan out over a worker pool bounded by
+// the parallel sweep engine — three-dimensional when SweepConfig.Temps
+// crosses the conditions with a temperature axis: cells fan out over a
+// worker pool bounded by
 // cfg.Parallelism, each workload's trace is generated once and shared, and
 // the result is bit-identical to a serial run of the same cfg. ctx cancels
 // the sweep; cfg.Progress observes completed cells. cfg.Sink streams the
