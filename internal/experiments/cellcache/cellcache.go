@@ -78,9 +78,13 @@ type disk struct {
 
 // Disk returns a cache persisted under dir (created if absent), fronted
 // by an in-memory tier. Entries are one JSON file per cell named by the
-// key; writes go through a temp file + rename so a crashed run never
-// leaves a torn entry, and unreadable or corrupt entries degrade to
-// misses.
+// key; writes go through a temp file + best-effort fsync + rename, so
+// neither a crashed run nor a concurrent reader in another process ever
+// observes a torn entry — many processes (the shard subsystem's workers)
+// may safely share one dir — and unreadable or corrupt entries degrade to
+// misses. Concurrent writers of the same key land whole entries in some
+// order; since keys are content addresses, both writes carry the same
+// measurement and either outcome is correct.
 func Disk(dir string) (Cache, error) {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("cellcache: %w", err)
@@ -135,17 +139,38 @@ func (c *disk) Put(key string, m Measurement) {
 	if err != nil {
 		return
 	}
-	tmp, err := os.CreateTemp(c.dir, key+".tmp*")
+	// Storage failures degrade to misses, never sweep errors.
+	_ = WriteFileAtomic(c.path(key), data)
+}
+
+// WriteFileAtomic publishes data at path all-or-nothing: a temp file in
+// the target's directory, a best-effort fsync, then a rename. A reader in
+// any process — cache lookups, the shard subsystem's record scans — never
+// observes a torn file, and the data should hit stable storage before the
+// name does, because concurrent shard processes treat a visible entry as
+// durable work they will never redo. A failed sync still degrades to (at
+// worst) a missing file after a crash, never a torn one — the rename is
+// what makes it visible. Exported so every on-disk artifact the sweep
+// subsystems share (cache entries, shard manifests, completion records)
+// follows the one discipline.
+func WriteFileAtomic(path string, data []byte) error {
+	tmp, err := os.CreateTemp(filepath.Dir(path), filepath.Base(path)+".tmp*")
 	if err != nil {
-		return
+		return err
 	}
 	_, werr := tmp.Write(data)
+	_ = tmp.Sync()
 	cerr := tmp.Close()
 	if werr != nil || cerr != nil {
 		os.Remove(tmp.Name())
-		return
+		if werr != nil {
+			return werr
+		}
+		return cerr
 	}
-	if err := os.Rename(tmp.Name(), c.path(key)); err != nil {
+	if err := os.Rename(tmp.Name(), path); err != nil {
 		os.Remove(tmp.Name())
+		return err
 	}
+	return nil
 }

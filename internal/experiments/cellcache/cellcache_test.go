@@ -1,8 +1,10 @@
 package cellcache
 
 import (
+	"fmt"
 	"os"
 	"path/filepath"
+	"strings"
 	"sync"
 	"testing"
 )
@@ -126,6 +128,108 @@ func TestDiskCreatesDirectory(t *testing.T) {
 	c.Put(key, sample)
 	if _, err := os.Stat(filepath.Join(dir, key+".json")); err != nil {
 		t.Fatalf("entry not on disk: %v", err)
+	}
+}
+
+// TestConcurrentWritersShareDirWithoutTornEntries models the shard
+// subsystem's deployment: several processes — here, several independent
+// Disk instances, so nothing is serialized by a shared in-memory tier —
+// hammer one directory concurrently, overlapping on some keys and disjoint
+// on others, while readers poll. Every observation must be all-or-nothing:
+// either a miss or a complete, valid measurement, never a torn entry.
+func TestConcurrentWritersShareDirWithoutTornEntries(t *testing.T) {
+	dir := t.TempDir()
+	const writers = 6
+	const perWriter = 40
+
+	// keyFor derives a distinct valid key per slot; slot 0 is shared by
+	// every writer (maximum contention), the rest are per-writer.
+	keyFor := func(writer, slot int) string {
+		if slot == 0 {
+			return key
+		}
+		return fmt.Sprintf("%02x%02x%s", writer, slot, key[4:])
+	}
+	measFor := func(writer, slot int) Measurement {
+		return Measurement{
+			Mean:       float64(1000*writer + slot),
+			MeanRead:   float64(slot) + 0.5,
+			P99Read:    float64(writer) + 0.25,
+			RetrySteps: 3.125,
+		}
+	}
+
+	var writersWG, readerWG sync.WaitGroup
+	stop := make(chan struct{})
+	// A reader races Gets against the writers' renames; it must only ever
+	// see misses or whole entries (sample for the shared key). A fresh
+	// instance each poll defeats the fronting memory tier, so every Get is
+	// a real disk read.
+	readerWG.Add(1)
+	go func() {
+		defer readerWG.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			rd, err := Disk(dir)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			if m, ok := rd.Get(key); ok && m != sample {
+				t.Errorf("reader observed a torn shared entry: %+v", m)
+				return
+			}
+		}
+	}()
+	for w := 0; w < writers; w++ {
+		w := w
+		writersWG.Add(1)
+		go func() {
+			defer writersWG.Done()
+			c, err := Disk(dir) // one instance per "process"
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			for i := 0; i < perWriter; i++ {
+				c.Put(key, sample) // shared key: all writers agree on the value
+				slot := i%4 + 1
+				c.Put(keyFor(w, slot), measFor(w, slot))
+			}
+		}()
+	}
+	writersWG.Wait()
+	close(stop)
+	readerWG.Wait()
+
+	// Everything lands whole, readable from a cold instance.
+	fresh, err := Disk(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, ok := fresh.Get(key); !ok || got != sample {
+		t.Fatalf("shared key after concurrent writers = %+v, %v; want %+v, true", got, ok, sample)
+	}
+	for w := 0; w < writers; w++ {
+		for slot := 1; slot <= 4; slot++ {
+			if got, ok := fresh.Get(keyFor(w, slot)); !ok || got != measFor(w, slot) {
+				t.Fatalf("writer %d slot %d = %+v, %v; want %+v, true", w, slot, got, ok, measFor(w, slot))
+			}
+		}
+	}
+	// No temp droppings left behind by the atomic write path.
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, ent := range entries {
+		if strings.Contains(ent.Name(), ".tmp") {
+			t.Errorf("temp file %s survived the writers", ent.Name())
+		}
 	}
 }
 

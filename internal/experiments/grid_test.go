@@ -1,0 +1,147 @@
+package experiments
+
+import (
+	"context"
+	"reflect"
+	"testing"
+)
+
+func TestGridCellAtDecodesCanonicalOrder(t *testing.T) {
+	cfg := tinySweepConfig(7)
+	cfg.Conditions = []Condition{{PEC: 1000, Months: 3}, {PEC: 2000, Months: 6}}
+	variants := Figure14Variants()
+	g, err := NewGrid(cfg, variants)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Total() != 2*2*5 || g.Stride() != 5 {
+		t.Fatalf("Total = %d, Stride = %d", g.Total(), g.Stride())
+	}
+	// The decode must visit exactly the nested workload-major order the
+	// serial loops produced.
+	idx := 0
+	for _, wl := range cfg.Workloads {
+		for _, cond := range cfg.Conditions {
+			for _, v := range variants {
+				gw, gc, gv := g.CellAt(idx)
+				if gw != wl || gc != cond || gv.Name != v.Name {
+					t.Fatalf("CellAt(%d) = (%s, %v, %s), want (%s, %v, %s)",
+						idx, gw, gc, gv.Name, wl, cond, v.Name)
+				}
+				idx++
+			}
+		}
+	}
+	if got, want := g.Label(0), "stg_0 2K/3mo Baseline"; want != got {
+		// PEC 1000 renders as "1K"; build the expectation from the grid
+		// itself to stay robust.
+		wl, cond, v := g.CellAt(0)
+		if got != wl+" "+cond.String()+" "+v.Name {
+			t.Fatalf("Label(0) = %q", got)
+		}
+	}
+}
+
+func TestRunCellsSubsetMatchesFullSweep(t *testing.T) {
+	cfg := tinySweepConfig(7)
+	full, err := RunSweep(context.Background(), cfg, Figure14Variants())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// An arbitrary subset, deliberately out of ascending order.
+	indices := []int{7, 0, 3, 9, 2}
+	cells, err := RunCells(context.Background(), cfg, Figure14Variants(), indices)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cells) != len(indices) {
+		t.Fatalf("RunCells returned %d cells, want %d", len(cells), len(indices))
+	}
+	for i, idx := range indices {
+		want := full.Cells[idx]
+		want.Normalized = 0 // subsets are raw; normalization is a merge-time step
+		if !reflect.DeepEqual(cells[i], want) {
+			t.Fatalf("cell %d (grid idx %d) = %+v, want %+v", i, idx, cells[i], want)
+		}
+	}
+}
+
+func TestRunCellsRejectsOutOfRangeIndex(t *testing.T) {
+	cfg := tinySweepConfig(7)
+	for _, bad := range [][]int{{-1}, {10}, {0, 99}} {
+		if _, err := RunCells(context.Background(), cfg, Figure14Variants(), bad); err == nil {
+			t.Fatalf("RunCells accepted out-of-range indices %v", bad)
+		}
+	}
+}
+
+func TestNormalizeCellsMatchesEngineNormalization(t *testing.T) {
+	cfg := tinySweepConfig(7)
+	variants := Figure14Variants()
+	full, err := RunSweep(context.Background(), cfg, variants)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Strip the engine's normalization and reapply via the exported hook.
+	raw := make([]Cell, len(full.Cells))
+	copy(raw, full.Cells)
+	for i := range raw {
+		raw[i].Normalized = 0
+	}
+	if err := NormalizeCells(raw, variants); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(raw, full.Cells) {
+		t.Fatal("NormalizeCells over the raw grid differs from the engine's stripe normalization")
+	}
+
+	// Misaligned input is refused rather than mis-striped.
+	if err := NormalizeCells(raw[:len(raw)-1], variants); err == nil {
+		t.Fatal("NormalizeCells accepted a cell count that does not divide into stripes")
+	}
+	if err := NormalizeCells(raw, nil); err == nil {
+		t.Fatal("NormalizeCells accepted an empty variant roster")
+	}
+}
+
+func TestConfigHashSensitivity(t *testing.T) {
+	cfg := tinySweepConfig(7)
+	variants := Figure14Variants()
+	base, err := ConfigHash(cfg, variants)
+	if err != nil {
+		t.Fatal(err)
+	}
+	same, err := ConfigHash(cfg, Figure14Variants())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if base != same {
+		t.Fatal("ConfigHash is not deterministic for equal configurations")
+	}
+
+	vary := func(name string, mutate func(*Config) []Variant) {
+		c := cfg
+		vs := mutate(&c)
+		if vs == nil {
+			vs = variants
+		}
+		h, err := ConfigHash(c, vs)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if h == base {
+			t.Errorf("%s: hash unchanged", name)
+		}
+	}
+	vary("seed", func(c *Config) []Variant { c.Seed = 8; return nil })
+	vary("requests", func(c *Config) []Variant { c.Requests = c.Requests + 1; return nil })
+	vary("temps axis", func(c *Config) []Variant { c.Temps = []float64{25}; return nil })
+	vary("device template", func(c *Config) []Variant { c.Base.TempC = 55; return nil })
+	vary("workload roster", func(c *Config) []Variant { c.Workloads = c.Workloads[:1]; return nil })
+	vary("variant roster", func(c *Config) []Variant { return variants[:3] })
+	vary("variant rename", func(c *Config) []Variant {
+		vs := append([]Variant{}, variants...)
+		vs[1].Name = "renamed"
+		return vs
+	})
+}

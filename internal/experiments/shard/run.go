@@ -1,0 +1,88 @@
+package shard
+
+import (
+	"context"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"readretry/internal/experiments"
+	"readretry/internal/experiments/cellcache"
+)
+
+// Run executes one shard: the manifest's cells, through the existing sweep
+// machinery (experiments.RunCells — same worker pool, shared traces,
+// cfg.Cache consulted first and filled after each miss). Before any
+// simulation it re-derives the configuration's hash and refuses a manifest
+// planned for a different sweep or under a different cache-key schema, so
+// mixing up flags between terminals fails loudly instead of merging
+// garbage.
+//
+// When dir is non-empty the shard is made durable there: the manifest is
+// written up front (so an operator can see what is in flight) and an
+// atomic completion Record — the manifest plus every cell's raw
+// measurement — on success. Give every shard of a plan the same dir and
+// the same cellcache disk tier: the cache persists each cell as it lands,
+// which is what makes a crashed shard resumable (re-running it performs
+// only the simulations the crash lost), and the records are what Merge
+// consumes.
+//
+// The returned record's measurements are raw; normalization happens once,
+// at merge time, over the full grid.
+func Run(ctx context.Context, cfg experiments.Config, variants []experiments.Variant, m Manifest, dir string) (*Record, error) {
+	g, err := experiments.NewGrid(cfg, variants)
+	if err != nil {
+		return nil, err
+	}
+	hash, err := experiments.ConfigHash(cfg, variants)
+	if err != nil {
+		return nil, err
+	}
+	if m.ConfigHash != hash {
+		return nil, fmt.Errorf("shard: manifest %d/%d was planned for config %.12s…, this configuration hashes to %.12s…; re-plan or fix the flags",
+			m.Index, m.Count, m.ConfigHash, hash)
+	}
+	if m.KeySchema != experiments.CacheKeySchema() {
+		return nil, fmt.Errorf("shard: manifest %d/%d uses cache-key schema %q, this engine derives %q; re-plan with this engine",
+			m.Index, m.Count, m.KeySchema, experiments.CacheKeySchema())
+	}
+	if err := m.validate(g); err != nil {
+		return nil, err
+	}
+	if dir != "" {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			return nil, fmt.Errorf("shard: %w", err)
+		}
+		if err := writeJSON(filepath.Join(dir, m.ManifestFilename()), m); err != nil {
+			return nil, err
+		}
+	}
+
+	cells, err := experiments.RunCells(ctx, cfg, variants, m.Cells)
+	if err != nil {
+		return nil, err
+	}
+
+	rec := &Record{Manifest: m, Results: make([]CellResult, 0, len(cells))}
+	for i, idx := range m.Cells {
+		wl, cond, v := g.CellAt(idx)
+		key, err := experiments.CellKey(cfg, wl, cond, v)
+		if err != nil {
+			return nil, err
+		}
+		rec.Results = append(rec.Results, CellResult{
+			Index: idx,
+			Key:   key,
+			Measurement: cellcache.Measurement{
+				Mean: cells[i].Mean, MeanRead: cells[i].MeanRead,
+				P99Read: cells[i].P99Read, RetrySteps: cells[i].RetrySteps,
+			},
+		})
+	}
+	if dir != "" {
+		if err := writeJSON(filepath.Join(dir, m.RecordFilename()), rec); err != nil {
+			return nil, err
+		}
+	}
+	return rec, nil
+}

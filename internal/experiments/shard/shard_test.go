@@ -1,0 +1,461 @@
+package shard_test
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"sync"
+	"testing"
+
+	"readretry/internal/experiments"
+	"readretry/internal/experiments/cellcache"
+	"readretry/internal/experiments/shard"
+)
+
+// gridShape names one sweep configuration the property tests partition:
+// the shapes span 2-D and 3-D condition grids, a single-cell grid, and
+// grids smaller than the shard count.
+type gridShape struct {
+	name     string
+	cfg      experiments.Config
+	variants []experiments.Variant
+}
+
+// baseConfig keeps each simulated cell cheap: a short trace against the
+// experiment-scale device.
+func baseConfig(seed uint64) experiments.Config {
+	cfg := experiments.QuickConfig()
+	cfg.Workloads = []string{"stg_0", "YCSB-C"}
+	cfg.Conditions = []experiments.Condition{{PEC: 2000, Months: 6}}
+	cfg.Requests = 300
+	cfg.Seed = seed
+	return cfg
+}
+
+// twoVariants is the smallest roster with a normalization reference and a
+// dependent column.
+func twoVariants() []experiments.Variant {
+	vs := experiments.Figure14Variants()
+	return []experiments.Variant{vs[0], vs[3]} // Baseline, PnAR2
+}
+
+func shapes() []gridShape {
+	flat := baseConfig(7)
+	flat.Conditions = []experiments.Condition{
+		{PEC: 1000, Months: 3}, {PEC: 2000, Months: 6},
+	}
+
+	cube := baseConfig(7)
+	cube.Workloads = []string{"stg_0"}
+	cube.Temps = []float64{25, 85}
+
+	one := baseConfig(7)
+	one.Workloads = []string{"stg_0"}
+
+	return []gridShape{
+		{"2D", flat, twoVariants()},
+		{"3D-temps", cube, twoVariants()},
+		{"single-cell", one, twoVariants()[:1]},
+	}
+}
+
+// runShards executes every shard of the plan, each persisting into dir
+// and/or cache per the arguments.
+func runShards(t *testing.T, cfg experiments.Config, variants []experiments.Variant, p *shard.Plan, dir string) {
+	t.Helper()
+	for _, m := range p.Shards {
+		if _, err := shard.Run(context.Background(), cfg, variants, m, dir); err != nil {
+			t.Fatalf("shard %d/%d: %v", m.Index, m.Count, err)
+		}
+	}
+}
+
+// assertIdentical fails unless merged matches the unsharded run exactly:
+// reflect.DeepEqual on the Result and byte-equality through WriteCSV.
+func assertIdentical(t *testing.T, label string, unsharded, merged *experiments.Result) {
+	t.Helper()
+	if !reflect.DeepEqual(unsharded, merged) {
+		t.Fatalf("%s: merged Result differs from unsharded run", label)
+	}
+	var a, b bytes.Buffer
+	if err := unsharded.WriteCSV(&a); err != nil {
+		t.Fatal(err)
+	}
+	if err := merged.WriteCSV(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Fatalf("%s: merged CSV differs from unsharded run\nunsharded:\n%s\nmerged:\n%s",
+			label, a.String(), b.String())
+	}
+}
+
+// TestPlanPartitionPropertyAndMergeIdentity is the subsystem's core
+// property test: over several grid shapes (2-D, 3-D, single-cell) and
+// shard counts (1, 2, 3, and more shards than cells), every plan's
+// partition must be disjoint, covering, and balanced, and merging the
+// shards' outputs — from completion records alone and from a shared cache
+// alone — must reproduce the unsharded RunSweep bit-for-bit.
+func TestPlanPartitionPropertyAndMergeIdentity(t *testing.T) {
+	for _, sh := range shapes() {
+		sh := sh
+		t.Run(sh.name, func(t *testing.T) {
+			unsharded, err := experiments.RunSweep(context.Background(), sh.cfg, sh.variants)
+			if err != nil {
+				t.Fatal(err)
+			}
+			g, err := experiments.NewGrid(sh.cfg, sh.variants)
+			if err != nil {
+				t.Fatal(err)
+			}
+			total := g.Total()
+
+			for _, n := range []int{1, 2, 3, total + 3} {
+				p, err := shard.NewPlan(sh.cfg, sh.variants, n)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if len(p.Shards) != n {
+					t.Fatalf("n=%d: plan has %d shards", n, len(p.Shards))
+				}
+
+				// Partition property: disjoint, covering, balanced.
+				seen := make([]int, total)
+				for _, m := range p.Shards {
+					if m.TotalCells != total || m.ConfigHash != p.ConfigHash {
+						t.Fatalf("n=%d: manifest %d self-description wrong: %+v", n, m.Index, m)
+					}
+					for _, idx := range m.Cells {
+						if idx < 0 || idx >= total {
+							t.Fatalf("n=%d: shard %d holds out-of-range cell %d", n, m.Index, idx)
+						}
+						seen[idx]++
+					}
+					if min, max := total/n, (total+n-1)/n; len(m.Cells) < min || len(m.Cells) > max {
+						t.Fatalf("n=%d: shard %d has %d cells, want within [%d, %d]", n, m.Index, len(m.Cells), min, max)
+					}
+				}
+				for idx, c := range seen {
+					if c != 1 {
+						t.Fatalf("n=%d: cell %d covered %d times, want exactly once", n, idx, c)
+					}
+				}
+
+				// Merge from completion records alone.
+				dir := t.TempDir()
+				runShards(t, sh.cfg, sh.variants, p, dir)
+				merged, err := shard.Merge(sh.cfg, sh.variants, dir, nil)
+				if err != nil {
+					t.Fatalf("n=%d: merge from records: %v", n, err)
+				}
+				assertIdentical(t, sh.name, unsharded, merged)
+
+				// Merge from a shared cache alone (no records written).
+				cacheCfg := sh.cfg
+				cacheCfg.Cache = cellcache.Memory()
+				runShards(t, cacheCfg, sh.variants, p, "")
+				fromCache, err := shard.Merge(sh.cfg, sh.variants, "", cacheCfg.Cache)
+				if err != nil {
+					t.Fatalf("n=%d: merge from cache: %v", n, err)
+				}
+				assertIdentical(t, sh.name+"/cache", unsharded, fromCache)
+			}
+		})
+	}
+}
+
+// TestMergeIncompleteFailsWithExactMissingCells: merging before every
+// shard has finished must fail with a *MissingCellsError naming exactly
+// the cells of the unfinished shards — never a silently normalized partial
+// grid.
+func TestMergeIncompleteFailsWithExactMissingCells(t *testing.T) {
+	cfg := baseConfig(7)
+	variants := twoVariants()
+	p, err := shard.NewPlan(cfg, variants, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	// Only shard 0 completes.
+	if _, err := shard.Run(context.Background(), cfg, variants, p.Shards[0], dir); err != nil {
+		t.Fatal(err)
+	}
+	_, err = shard.Merge(cfg, variants, dir, nil)
+	var missing *shard.MissingCellsError
+	if !errors.As(err, &missing) {
+		t.Fatalf("merge of an incomplete shard set returned %v, want *MissingCellsError", err)
+	}
+	if !reflect.DeepEqual(missing.Missing, p.Shards[1].Cells) {
+		t.Fatalf("missing = %v, want exactly shard 1's cells %v", missing.Missing, p.Shards[1].Cells)
+	}
+	g, err := experiments.NewGrid(cfg, variants)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, idx := range missing.Missing {
+		if missing.Labels[i] != g.Label(idx) {
+			t.Errorf("label for cell %d = %q, want %q", idx, missing.Labels[i], g.Label(idx))
+		}
+	}
+	// An empty directory reports the whole grid missing.
+	_, err = shard.Merge(cfg, variants, t.TempDir(), nil)
+	if !errors.As(err, &missing) || len(missing.Missing) != g.Total() {
+		t.Fatalf("merge over empty dir: %v", err)
+	}
+}
+
+// countingCache counts real Put calls — each one is a simulation the
+// engine performed (hits never Put) — to prove resumption reuses work.
+type countingCache struct {
+	mu   sync.Mutex
+	c    cellcache.Cache
+	puts int
+}
+
+func (cc *countingCache) Get(key string) (cellcache.Measurement, bool) { return cc.c.Get(key) }
+func (cc *countingCache) Put(key string, m cellcache.Measurement) {
+	cc.mu.Lock()
+	cc.puts++
+	cc.mu.Unlock()
+	cc.c.Put(key, m)
+}
+func (cc *countingCache) count() int {
+	cc.mu.Lock()
+	defer cc.mu.Unlock()
+	return cc.puts
+}
+
+// TestResumeAfterPartialShard models a crashed shard process: the first
+// attempt is canceled mid-run, leaving finished cells in the shared cache
+// but no completion record. Merge still fails (exactly the unfinished
+// cells missing, records + cache both consulted), the re-run performs only
+// the simulations the crash lost, and the final merge is bit-identical to
+// the unsharded run.
+func TestResumeAfterPartialShard(t *testing.T) {
+	cfg := baseConfig(7)
+	cfg.Parallelism = 1 // deterministic number of cells completed before cancel
+	variants := twoVariants()
+	unsharded, err := experiments.RunSweep(context.Background(), cfg, variants)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	p, err := shard.NewPlan(cfg, variants, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	cache := &countingCache{c: cellcache.Memory()}
+	cfg.Cache = cache
+
+	// Shard 0 completes normally.
+	if _, err := shard.Run(context.Background(), cfg, variants, p.Shards[0], dir); err != nil {
+		t.Fatal(err)
+	}
+	doneShard0 := cache.count()
+
+	// Shard 1 "crashes" after its first cell: cancel as soon as one lands.
+	ctx, cancel := context.WithCancel(context.Background())
+	crashCfg := cfg
+	crashCfg.Progress = func(done, total int) {
+		if done == 1 {
+			cancel()
+		}
+	}
+	if _, err := shard.Run(ctx, crashCfg, variants, p.Shards[1], dir); !errors.Is(err, context.Canceled) {
+		t.Fatalf("interrupted shard returned %v, want context.Canceled", err)
+	}
+	saved := cache.count() - doneShard0
+	if saved == 0 {
+		t.Fatal("interrupted shard persisted no cells; resume has nothing to reuse")
+	}
+	if saved >= len(p.Shards[1].Cells) {
+		t.Fatalf("interrupted shard persisted all %d of its cells; nothing was interrupted", saved)
+	}
+
+	// Merge now: the completed shard's record plus the partial shard's
+	// cache entries still leave exactly the lost cells missing.
+	_, err = shard.Merge(cfg, variants, dir, cache)
+	var missing *shard.MissingCellsError
+	if !errors.As(err, &missing) {
+		t.Fatalf("merge after crash returned %v, want *MissingCellsError", err)
+	}
+	if want := len(p.Shards[1].Cells) - saved; len(missing.Missing) != want {
+		t.Fatalf("merge after crash reports %d missing cells, want %d", len(missing.Missing), want)
+	}
+
+	// Resume: re-run shard 1 to completion over the same cache. Only the
+	// lost cells may simulate.
+	before := cache.count()
+	if _, err := shard.Run(context.Background(), cfg, variants, p.Shards[1], dir); err != nil {
+		t.Fatal(err)
+	}
+	if resimulated := cache.count() - before; resimulated != len(p.Shards[1].Cells)-saved {
+		t.Fatalf("resume simulated %d cells, want only the %d lost ones",
+			resimulated, len(p.Shards[1].Cells)-saved)
+	}
+
+	merged, err := shard.Merge(cfg, variants, dir, cache)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertIdentical(t, "resume", unsharded, merged)
+}
+
+// TestRunRejectsForeignManifest: a manifest planned for a different sweep
+// (any config drift — here the seed) must be refused before any simulation.
+func TestRunRejectsForeignManifest(t *testing.T) {
+	cfg := baseConfig(7)
+	variants := twoVariants()
+	p, err := shard.NewPlan(cfg, variants, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	drifted := cfg
+	drifted.Seed = 8
+	if _, err := shard.Run(context.Background(), drifted, variants, p.Shards[0], ""); err == nil {
+		t.Fatal("shard.Run accepted a manifest planned for a different seed")
+	}
+	// Tampered key schema is likewise refused.
+	bad := p.Shards[0]
+	bad.KeySchema = "readretry-cell-v1"
+	if _, err := shard.Run(context.Background(), cfg, variants, bad, ""); err == nil {
+		t.Fatal("shard.Run accepted a manifest under a foreign key schema")
+	}
+}
+
+// TestManifestRoundTrip: manifests survive serialization, and a written
+// plan can be reloaded and executed from disk.
+func TestManifestRoundTrip(t *testing.T) {
+	cfg := baseConfig(7)
+	variants := twoVariants()
+	p, err := shard.NewPlan(cfg, variants, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	if err := p.WriteManifests(dir); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range p.Shards {
+		got, err := shard.ReadManifest(filepath.Join(dir, want.ManifestFilename()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("manifest %d round-trip mismatch:\ngot  %+v\nwant %+v", want.Index, got, want)
+		}
+	}
+}
+
+// TestMergeIgnoresForeignRecords: records of a different sweep sharing the
+// directory (fig14 next to fig15) must contribute nothing — and must not
+// break the merge of the sweep they do not belong to.
+func TestMergeIgnoresForeignRecords(t *testing.T) {
+	cfg := baseConfig(7)
+	variants := twoVariants()
+	foreign := baseConfig(8) // different seed → different hash and results
+
+	dir := t.TempDir()
+	for _, c := range []experiments.Config{cfg, foreign} {
+		p, err := shard.NewPlan(c, variants, 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		runShards(t, c, variants, p, dir)
+	}
+
+	unsharded, err := experiments.RunSweep(context.Background(), cfg, variants)
+	if err != nil {
+		t.Fatal(err)
+	}
+	merged, err := shard.Merge(cfg, variants, dir, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertIdentical(t, "foreign-records", unsharded, merged)
+}
+
+// TestMergeFlagMismatchSurfacesForeignRecords: merging with different
+// flags than the shards ran under (here: forgetting the -temps axis)
+// must not just claim every cell is missing — the error names the
+// completed-but-foreign records so the operator fixes the flags instead
+// of re-simulating the grid.
+func TestMergeFlagMismatchSurfacesForeignRecords(t *testing.T) {
+	ran := baseConfig(7)
+	ran.Workloads = []string{"stg_0"}
+	ran.Temps = []float64{25, 85}
+	variants := twoVariants()
+	p, err := shard.NewPlan(ran, variants, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	runShards(t, ran, variants, p, dir)
+
+	forgot := ran
+	forgot.Temps = nil // the mismatched merge invocation
+	_, err = shard.Merge(forgot, variants, dir, nil)
+	var missing *shard.MissingCellsError
+	if !errors.As(err, &missing) {
+		t.Fatalf("mismatched merge returned %v, want *MissingCellsError", err)
+	}
+	if missing.ForeignRecords != 2 || missing.MatchedRecords != 0 {
+		t.Errorf("ForeignRecords = %d, MatchedRecords = %d, want 2, 0",
+			missing.ForeignRecords, missing.MatchedRecords)
+	}
+	if !strings.Contains(err.Error(), "different configuration") {
+		t.Errorf("error does not surface the flag mismatch: %v", err)
+	}
+
+	// Once any record matches, the foreign ones are just the other sweep
+	// sharing the directory (fig14 beside fig15) — an incomplete merge
+	// must not steer the operator toward a flag hunt then.
+	p2, err := shard.NewPlan(forgot, variants, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := shard.Run(context.Background(), forgot, variants, p2.Shards[0], dir); err != nil {
+		t.Fatal(err)
+	}
+	_, err = shard.Merge(forgot, variants, dir, nil)
+	if !errors.As(err, &missing) {
+		t.Fatalf("partial merge returned %v, want *MissingCellsError", err)
+	}
+	if missing.MatchedRecords != 1 || missing.ForeignRecords != 2 {
+		t.Errorf("MatchedRecords = %d, ForeignRecords = %d, want 1, 2",
+			missing.MatchedRecords, missing.ForeignRecords)
+	}
+	if strings.Contains(err.Error(), "different configuration") {
+		t.Errorf("flag-mismatch hint shown despite a matching record: %v", err)
+	}
+	// A matching merge of the same directory still works, foreign-free.
+	res, err := shard.Merge(ran, variants, dir, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	unsharded, err := experiments.RunSweep(context.Background(), ran, variants)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertIdentical(t, "after-mismatch", unsharded, res)
+}
+
+// TestNewPlanRejectsBadInputs covers the planner's argument validation.
+func TestNewPlanRejectsBadInputs(t *testing.T) {
+	cfg := baseConfig(7)
+	if _, err := shard.NewPlan(cfg, twoVariants(), 0); err == nil {
+		t.Fatal("NewPlan accepted 0 shards")
+	}
+	if _, err := shard.NewPlan(cfg, nil, 2); err == nil {
+		t.Fatal("NewPlan accepted an empty variant roster")
+	}
+	bad := cfg
+	bad.Conditions = []experiments.Condition{{PEC: -1}}
+	if _, err := shard.NewPlan(bad, twoVariants(), 2); err == nil {
+		t.Fatal("NewPlan accepted an invalid condition grid")
+	}
+}

@@ -2,7 +2,6 @@ package experiments
 
 import (
 	"context"
-	"errors"
 	"fmt"
 	"runtime"
 	"sync"
@@ -10,7 +9,6 @@ import (
 	"readretry/internal/core"
 	"readretry/internal/experiments/cellcache"
 	"readretry/internal/trace"
-	"readretry/internal/workload"
 )
 
 // Variant is one configuration column of a sweep: a named (scheme, PSO)
@@ -85,54 +83,47 @@ type sharedTrace struct {
 // abandoned, and the context's error is returned. cfg.Progress, when set,
 // observes completed cells as they land.
 func RunSweep(ctx context.Context, cfg Config, variants []Variant) (*Result, error) {
-	if len(variants) == 0 {
-		return nil, errors.New("experiments: sweep needs at least one variant")
-	}
-	wls := cfg.Workloads
-	if wls == nil {
-		wls = workload.Names()
-	}
-	conds := cfg.conditions()
-	// Validate the roster and the condition grid upfront so an unknown
-	// workload or a physically meaningless condition (negative PEC or
-	// retention age, out-of-range temperature — the vth model would
-	// silently accept them) fails before any simulation spends time, and
-	// independently of worker scheduling.
-	for _, wl := range wls {
-		if _, err := workload.ByName(wl); err != nil {
-			return nil, err
-		}
-	}
-	for _, t := range cfg.Temps {
-		if t == 0 {
-			return nil, errors.New("experiments: Temps must not contain 0 (the \"device default\" sentinel); set Base.TempC to change the default temperature instead")
-		}
-	}
-	if len(cfg.Temps) > 0 {
-		// Crossing overwrites each condition's TempC; a condition that
-		// already pins one would be silently re-measured elsewhere, so the
-		// ambiguous combination is rejected rather than guessed at.
-		for _, c := range cfg.Conditions {
-			if c.TempC != 0 {
-				return nil, fmt.Errorf("experiments: condition %s pins a temperature while Temps is set; use one axis or the other", c)
-			}
-		}
-	}
-	for _, c := range conds {
-		if err := c.Validate(); err != nil {
-			return nil, err
-		}
+	g, err := NewGrid(cfg, variants)
+	if err != nil {
+		return nil, err
 	}
 
-	res := &Result{Cells: make([]Cell, len(wls)*len(conds)*len(variants))}
+	res := &Result{Cells: make([]Cell, g.Total())}
 	for _, v := range variants {
 		res.Configs = append(res.Configs, v.Name)
 	}
-	total := len(res.Cells)
-	if total == 0 {
+	if len(res.Cells) == 0 {
 		return res, ctx.Err()
 	}
 
+	// The full grid is the identity cell set; the resequencer restores
+	// canonical order, normalizes completed stripes, and feeds the sink.
+	indices := make([]int, g.Total())
+	for i := range indices {
+		indices[i] = i
+	}
+	seq := newResequencer(res.Cells, g.Stride(), ReferenceVariant(variants), cfg.Sink)
+	err = runGridCells(ctx, cfg, g, indices, func(pos, idx int, c Cell) error {
+		return seq.complete(idx, c)
+	})
+	if err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+// runGridCells is the worker-pool core shared by RunSweep (the full grid)
+// and RunCells (a shard's subset): it measures the given canonical cell
+// indices and hands each completed cell to deliver with its position in
+// indices and its canonical index. deliver is called from worker
+// goroutines (each position exactly once); a non-nil error aborts the run.
+// Progress is reported against len(indices), serialized, with done
+// strictly increasing.
+func runGridCells(ctx context.Context, cfg Config, g *Grid, indices []int, deliver func(pos, idx int, c Cell) error) error {
+	total := len(indices)
+	if total == 0 {
+		return ctx.Err()
+	}
 	workers := cfg.Parallelism
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
@@ -144,8 +135,7 @@ func RunSweep(ctx context.Context, cfg Config, variants []Variant) (*Result, err
 	ctx, cancel := context.WithCancel(ctx)
 	defer cancel()
 
-	seq := newResequencer(res.Cells, len(variants), referenceVariant(variants), cfg.Sink)
-	traces := make([]sharedTrace, len(wls))
+	traces := make([]sharedTrace, len(g.Workloads))
 	jobs := make(chan int)
 	var (
 		wg       sync.WaitGroup
@@ -162,24 +152,23 @@ func RunSweep(ctx context.Context, cfg Config, variants []Variant) (*Result, err
 		mu.Unlock()
 	}
 
-	cellsPerWorkload := len(conds) * len(variants)
+	cellsPerWorkload := len(g.Conds) * len(g.Variants)
 	worker := func() {
 		defer wg.Done()
-		for idx := range jobs {
+		for pos := range jobs {
 			if ctx.Err() != nil {
 				return
 			}
-			wi := idx / cellsPerWorkload
-			ci := idx % cellsPerWorkload / len(variants)
-			vi := idx % len(variants)
-			v := variants[vi]
+			idx := indices[pos]
+			wi := idx / cellsPerWorkload // the cell's shared-trace slot
+			wl, cond, v := g.CellAt(idx)
 
-			cell := Cell{Workload: wls[wi], Cond: conds[ci], Config: v.Name}
+			cell := Cell{Workload: wl, Cond: cond, Config: v.Name}
 			var key string
 			hit := false
 			if cfg.Cache != nil {
 				var err error
-				key, err = cellKey(cfg, wls[wi], conds[ci], v)
+				key, err = cellKey(cfg, wl, cond, v)
 				if err != nil {
 					fail(err)
 					return
@@ -194,14 +183,14 @@ func RunSweep(ctx context.Context, cfg Config, variants []Variant) (*Result, err
 				// Only misses need the workload's trace; a fully warm
 				// run generates none at all.
 				tr := &traces[wi]
-				tr.once.Do(func() { tr.recs, tr.err = traceFor(cfg, wls[wi]) })
+				tr.once.Do(func() { tr.recs, tr.err = traceFor(cfg, wl) })
 				if tr.err != nil {
 					fail(tr.err)
 					return
 				}
-				st, err := runOne(cfg, tr.recs, conds[ci], v.Scheme, v.PSO)
+				st, err := runOne(cfg, tr.recs, cond, v.Scheme, v.PSO)
 				if err != nil {
-					fail(fmt.Errorf("%s %v %s: %w", wls[wi], conds[ci], v.Name, err))
+					fail(fmt.Errorf("%s %v %s: %w", wl, cond, v.Name, err))
 					return
 				}
 				cell.Mean, cell.MeanRead = st.MeanAll(), st.MeanRead()
@@ -213,7 +202,7 @@ func RunSweep(ctx context.Context, cfg Config, variants []Variant) (*Result, err
 					})
 				}
 			}
-			if err := seq.complete(idx, cell); err != nil {
+			if err := deliver(pos, idx, cell); err != nil {
 				fail(err)
 				return
 			}
@@ -231,9 +220,9 @@ func RunSweep(ctx context.Context, cfg Config, variants []Variant) (*Result, err
 	}
 
 feed:
-	for idx := 0; idx < total; idx++ {
+	for pos := 0; pos < total; pos++ {
 		select {
-		case jobs <- idx:
+		case jobs <- pos:
 		case <-ctx.Done():
 			break feed
 		}
@@ -242,23 +231,12 @@ feed:
 	wg.Wait()
 
 	if firstErr != nil {
-		return nil, firstErr
+		return firstErr
 	}
 	if err := ctx.Err(); err != nil {
-		return nil, fmt.Errorf("experiments: sweep canceled after %d/%d cells: %w", done, total, err)
+		return fmt.Errorf("experiments: sweep canceled after %d/%d cells: %w", done, total, err)
 	}
-	return res, nil
-}
-
-// referenceVariant picks the normalization column: the variant named
-// "Baseline" if present, otherwise the first one.
-func referenceVariant(variants []Variant) string {
-	for _, v := range variants {
-		if v.Name == "Baseline" {
-			return v.Name
-		}
-	}
-	return variants[0].Name
+	return nil
 }
 
 // normalizeStripe fills Cell.Normalized for one (workload, condition)

@@ -5,7 +5,7 @@
 # Usage:
 #   scripts/bench.sh [output.json] [benchtime]
 #
-# Defaults: BENCH_PR4.json in the repository root, -benchtime 5x. The JSON
+# Defaults: BENCH_PR5.json in the repository root, -benchtime 5x. The JSON
 # maps each benchmark to {ns_per_op, bytes_per_op, allocs_per_op}; custom
 # metrics (mean_nrr, workers, …) are ignored. Compare a fresh run against
 # the latest committed BENCH_PR*.json to spot regressions.
@@ -13,7 +13,7 @@ set -euo pipefail
 
 cd "$(dirname "$0")/.."
 
-out="${1:-BENCH_PR4.json}"
+out="${1:-BENCH_PR5.json}"
 macrotime="${2:-5x}"
 
 # Nanosecond-scale benchmarks need a time budget to converge; whole-cell
@@ -22,7 +22,7 @@ micro=$(go test . -run NONE \
   -bench 'BenchmarkReadPath|BenchmarkVthModelRead' \
   -benchtime 2s -benchmem)
 macro=$(go test . -run NONE \
-  -bench 'BenchmarkSweepCell|BenchmarkSweepSerial|BenchmarkSweepParallel|BenchmarkSweepTemperatureGrid|BenchmarkSSDSimulationThroughput' \
+  -bench 'BenchmarkSweepCell|BenchmarkSweepSerial|BenchmarkSweepParallel|BenchmarkSweepTemperatureGrid|BenchmarkSweepSharded|BenchmarkSSDSimulationThroughput' \
   -benchtime "$macrotime" -benchmem)
 raw="$micro
 $macro"
