@@ -1,0 +1,218 @@
+// The networked sweep modes: -serve turns this process into the sweep
+// coordinator (shards the selected Figure 14/15 grids, serves them to
+// -worker processes over HTTP, accepts submissions from -submit clients
+// over the same cellcache, renders when every job completes), -worker
+// turns it into a puller that executes shards until the coordinator
+// drains, and -submit sends the selected sweeps to a running coordinator
+// and waits for the merged results. Unlike the filesystem shard modes,
+// none of the processes need a shared directory — records travel over the
+// wire — though workers still want -cache-dir for crash-resume.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"time"
+
+	"readretry/internal/experiments"
+	"readretry/internal/experiments/cellcache"
+	"readretry/internal/experiments/coord"
+)
+
+var (
+	serveAddr  = flag.String("serve", "", "run as sweep coordinator on this host:port: serve the selected Figure 14/15 sweeps to -worker processes, accept -submit jobs, render when every job completes")
+	workerAddr = flag.String("worker", "", "run as sweep worker: pull and execute shards from the coordinator at this host:port until it drains (-cache-dir recommended for crash-resume)")
+	submitAddr = flag.String("submit", "", "submit the selected Figure 14/15 sweeps to the coordinator at this host:port and wait for the merged results")
+
+	serveShards = flag.Int("serve-shards", 8, "how many shards to partition each submitted sweep into (with -serve or -submit)")
+	leaseTTL    = flag.Duration("lease-ttl", coord.DefaultLeaseTTL, "how long a worker lease survives without a heartbeat before its shard is re-leased (with -serve)")
+)
+
+// networked reports whether a coordinator-protocol sweep mode is active
+// (worker mode is its own early-exit path and not counted here).
+func networked() bool { return *serveAddr != "" || *submitAddr != "" }
+
+func coordLogf(format string, args ...interface{}) {
+	fmt.Fprintf(os.Stderr, "repro: "+format+"\n", args...)
+}
+
+// runWorkerMode is the -worker entry point: everything the worker needs
+// arrives in each lease, so the only local choices are the cache tier and
+// the pool size.
+func runWorkerMode() error {
+	var cache cellcache.Cache
+	if *cacheDir != "" {
+		c, err := cellcache.Disk(*cacheDir)
+		if err != nil {
+			return err
+		}
+		cache = c
+	} else {
+		coordLogf("worker: no -cache-dir; a crash loses this process's in-flight cells")
+		cache = cellcache.Memory()
+	}
+	coordLogf("worker: pulling shards from %s", *workerAddr)
+	return coord.RunWorker(context.Background(), *workerAddr, cache, *parallel, coordLogf)
+}
+
+// figureSweep is one selected figure's sweep.
+type figureSweep struct {
+	name     string
+	variants []experiments.Variant
+	render   func(*experiments.Result)
+}
+
+// selectedSweeps builds the figure list the networked modes act on.
+func selectedSweeps(cfg experiments.Config, add func(figure, quantity, paper, measured string)) []figureSweep {
+	var figs []figureSweep
+	if want("fig14") {
+		figs = append(figs, figureSweep{"fig14", experiments.Figure14Variants(), func(res *experiments.Result) {
+			header("Figure 14: SSD response time (normalized to Baseline)")
+			renderFig14(res, cfg, add)
+		}})
+	}
+	if want("fig15") {
+		figs = append(figs, figureSweep{"fig15", experiments.Figure15Variants(), func(res *experiments.Result) {
+			header("Figure 15: combining with PSO (normalized to Baseline)")
+			renderFig15(res, cfg, add)
+		}})
+	}
+	return figs
+}
+
+// runNetworkedSweeps dispatches -serve or -submit over the selected
+// figures, rendering each merged result exactly as the single-process path
+// would.
+func runNetworkedSweeps(cfg experiments.Config, add func(figure, quantity, paper, measured string)) error {
+	figs := selectedSweeps(cfg, add)
+	if *serveAddr != "" {
+		return runServeMode(cfg, figs)
+	}
+	return runSubmitMode(cfg, figs)
+}
+
+// runServeMode is the -serve daemon: one coordinator over this process's
+// cellcache, the selected figures submitted to itself, shards served to
+// workers until every job — its own and any a -submit client sends while
+// it is up — has completed. It renders its own figures and exits; an
+// external job keeps it alive until that job completes too.
+func runServeMode(cfg experiments.Config, figs []figureSweep) error {
+	c := coord.New(coord.Options{LeaseTTL: *leaseTTL, Cache: cfg.Cache})
+	ln, err := net.Listen("tcp", *serveAddr)
+	if err != nil {
+		return err
+	}
+	srv := &http.Server{Handler: coord.NewServer(c).Handler()}
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- srv.Serve(ln) }()
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	go c.ExpireLoop(ctx, 0)
+	coordLogf("coordinator: serving sweeps on %s (lease TTL %v); start workers with: repro -worker %s",
+		ln.Addr(), *leaseTTL, ln.Addr())
+
+	type ownJob struct {
+		fig figureSweep
+		job *coord.Job
+	}
+	var own []ownJob
+	for _, f := range figs {
+		j, err := c.Submit(coord.SpecOf(cfg, f.variants), *serveShards)
+		if err != nil {
+			srv.Close()
+			return fmt.Errorf("%s: %w", f.name, err)
+		}
+		st, _ := c.Status(j.ID)
+		coordLogf("coordinator: %s is job %.12s… (%d cells over %d shards, %d already cached)",
+			f.name, j.ID, st.TotalCells, st.ShardCount, st.CellsDone)
+		own = append(own, ownJob{f, j})
+	}
+
+	for _, o := range own {
+		for done := false; !done; {
+			select {
+			case <-o.job.Done():
+				done = true
+			case <-time.After(2 * time.Second):
+				if *progress {
+					st, _ := c.Status(o.job.ID)
+					coordLogf("coordinator: %s: %d/%d cells, %d/%d shards",
+						o.fig.name, st.CellsDone, st.TotalCells, st.ShardsDone, st.ShardCount)
+				}
+			}
+		}
+		res, err := o.job.Result()
+		if err != nil {
+			srv.Close()
+			return fmt.Errorf("%s: %w", o.fig.name, err)
+		}
+		o.fig.render(res)
+		if err := writeFigureCSV(o.fig.name, res); err != nil {
+			srv.Close()
+			return err
+		}
+	}
+
+	// Drain externally submitted jobs before going away; a fresh snapshot
+	// each round catches jobs submitted while the previous ones finished.
+	for {
+		waiting := 0
+		for _, st := range c.Jobs() {
+			if st.Done {
+				continue
+			}
+			if j, ok := c.Job(st.ID); ok {
+				if waiting == 0 {
+					coordLogf("coordinator: own sweeps done; draining externally submitted job %.12s…", st.ID)
+				}
+				waiting++
+				<-j.Done()
+			}
+		}
+		if waiting == 0 {
+			break
+		}
+	}
+
+	cancel()
+	shutCtx, shutCancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer shutCancel()
+	_ = srv.Shutdown(shutCtx)
+	if err := <-serveErr; err != nil && !errors.Is(err, http.ErrServerClosed) {
+		return err
+	}
+	return nil
+}
+
+// runSubmitMode is the -submit client: register every selected sweep first
+// (so the coordinator can serve them concurrently and share overlapping
+// cells), then block on each result in order.
+func runSubmitMode(cfg experiments.Config, figs []figureSweep) error {
+	cl := coord.NewClient(*submitAddr)
+	ctx := context.Background()
+	receipts := make([]coord.SubmitReceipt, len(figs))
+	for i, f := range figs {
+		r, err := cl.Submit(ctx, coord.SpecOf(cfg, f.variants), *serveShards)
+		if err != nil {
+			return fmt.Errorf("%s: submitting to %s: %w", f.name, *submitAddr, err)
+		}
+		coordLogf("submitted %s as job %.12s… (%d cells over %d shards)", f.name, r.JobID, r.TotalCells, r.Shards)
+		receipts[i] = r
+	}
+	for i, f := range figs {
+		res, err := cl.Result(ctx, receipts[i].JobID)
+		if err != nil {
+			return fmt.Errorf("%s: %w", f.name, err)
+		}
+		f.render(res)
+		if err := writeFigureCSV(f.name, res); err != nil {
+			return err
+		}
+	}
+	return nil
+}

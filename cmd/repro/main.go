@@ -19,6 +19,13 @@
 //	repro -only fig14 -cache-dir .rrc -shards 4 -shard-index 2   # run one shard
 //	repro -only fig14 -cache-dir .rrc -merge                     # merge completed shards
 //	repro -only fig14 -cache-dir .rrc -spawn-shards 4            # fork 4 children + merge
+//
+// Or over the network — no shared filesystem, fault-tolerant leases
+// (coord.go in this package; internal/experiments/coord for the protocol):
+//
+//	repro -only fig14 -serve :9736        # coordinator: shard, serve, merge, render
+//	repro -worker host:9736               # worker(s): pull and execute shards
+//	repro -only fig15 -submit host:9736   # another client borrows the same daemon
 package main
 
 import (
@@ -99,6 +106,28 @@ func csvSinkFor(name string, cfg experiments.Config) (experiments.CellSink, func
 	return sink, f.Close, nil
 }
 
+// writeFigureCSV writes a complete grid to -csv's dir/<name>.csv. The grid
+// being complete, the buffered encoder writes the same bytes the streaming
+// sink would have — the property the distributed modes' byte-identity
+// rests on. Without -csv it is a no-op.
+func writeFigureCSV(name string, res *experiments.Result) error {
+	if *csvDir == "" {
+		return nil
+	}
+	if err := os.MkdirAll(*csvDir, 0o755); err != nil {
+		return err
+	}
+	f, err := os.Create(filepath.Join(*csvDir, name+".csv"))
+	if err != nil {
+		return err
+	}
+	if err := res.WriteCSV(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
 // parseTemps converts the -temps flag into a temperature axis.
 func parseTemps(s string) ([]float64, error) {
 	if s == "" {
@@ -166,8 +195,8 @@ func sweepProgress(name string) func(done, total int) {
 }
 
 func want(name string) bool {
-	if distributed() && name != "fig14" && name != "fig15" {
-		return false // shard coordination distributes only the sweeps
+	if (distributed() || networked()) && name != "fig14" && name != "fig15" {
+		return false // shard and coordinator modes distribute only the sweeps
 	}
 	return *only == "all" || strings.EqualFold(*only, name)
 }
@@ -201,23 +230,8 @@ func runSweepFigure(name string, cfg experiments.Config, variants []experiments.
 		if err != nil {
 			return nil, err
 		}
-		if *csvDir != "" {
-			// The merged grid is complete, so the buffered encoder writes
-			// the same bytes the streaming sink would have.
-			if err := os.MkdirAll(*csvDir, 0o755); err != nil {
-				return nil, err
-			}
-			f, err := os.Create(filepath.Join(*csvDir, name+".csv"))
-			if err != nil {
-				return nil, err
-			}
-			if err := res.WriteCSV(f); err != nil {
-				f.Close()
-				return nil, err
-			}
-			if err := f.Close(); err != nil {
-				return nil, err
-			}
+		if err := writeFigureCSV(name, res); err != nil {
+			return nil, err
 		}
 		return res, nil
 
@@ -304,13 +318,25 @@ func header(s string) {
 func main() {
 	flag.Parse()
 	modes := 0
-	for _, on := range []bool{*shards > 0, *mergeFlag, *spawnShards > 0} {
+	for _, on := range []bool{*shards > 0, *mergeFlag, *spawnShards > 0,
+		*serveAddr != "", *workerAddr != "", *submitAddr != ""} {
 		if on {
 			modes++
 		}
 	}
 	if modes > 1 {
-		fmt.Fprintln(os.Stderr, "repro: -shards, -merge and -spawn-shards are mutually exclusive")
+		fmt.Fprintln(os.Stderr, "repro: -shards, -merge, -spawn-shards, -serve, -worker and -submit are mutually exclusive")
+		os.Exit(2)
+	}
+	if *workerAddr != "" {
+		if err := runWorkerMode(); err != nil {
+			fmt.Fprintf(os.Stderr, "repro: worker: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if networked() && !want("fig14") && !want("fig15") {
+		fmt.Fprintln(os.Stderr, "repro: -serve and -submit distribute the fig14/fig15 sweeps; use -only fig14, fig15, or all")
 		os.Exit(2)
 	}
 	if distributed() {
@@ -603,6 +629,16 @@ func main() {
 			}
 			cfg.Cache = cache
 		}
+		if networked() {
+			// Coordinator-protocol modes render inside runNetworkedSweeps
+			// (the serve daemon as each of its own jobs completes, the
+			// submit client as results stream back) and share the figure
+			// selection with the paths below.
+			if err := runNetworkedSweeps(cfg, add); err != nil {
+				fmt.Fprintf(os.Stderr, "repro: %v\n", err)
+				os.Exit(1)
+			}
+		}
 		if *spawnShards > 0 {
 			// Fork one child per shard over the shared store; each child
 			// runs the same -only selection with -shards/-shard-index, so
@@ -613,7 +649,7 @@ func main() {
 				os.Exit(1)
 			}
 		}
-		if want("fig14") {
+		if !networked() && want("fig14") {
 			if *shards == 0 {
 				header("Figure 14: SSD response time (normalized to Baseline)")
 			}
@@ -626,7 +662,7 @@ func main() {
 				renderFig14(res, cfg, add)
 			}
 		}
-		if want("fig15") {
+		if !networked() && want("fig15") {
 			if *shards == 0 {
 				header("Figure 15: combining with PSO (normalized to Baseline)")
 			}

@@ -1,0 +1,650 @@
+// Package coord is the network layer over the shard subsystem: a
+// coordinator that serves one or many sweeps' shard work-queues to worker
+// processes over HTTP, with lease/heartbeat fault tolerance and an
+// incremental merge that consumes completion records as shards land —
+// turning the filesystem-portable pieces PR 5 built (self-describing
+// manifests, raw-measurement records, byte-identical merges) into a
+// long-lived sweeps-as-a-service daemon.
+//
+// The division of labor:
+//
+//   - Coordinator is the transport-free state machine: jobs (one per
+//     submitted sweep, deduplicated by ConfigHash), per-shard lease state
+//     (pending → leased → done, with expiry back to pending), and the
+//     incremental merge. Time is injected through Clock, so every lease
+//     transition is testable on a fake clock with no sleeping.
+//   - Server/Client (http.go) put the state machine on the wire: POST
+//     /submit, /lease, /heartbeat, /complete; GET /job, /result.
+//   - Worker (worker.go) is the pull loop a worker process runs: lease,
+//     execute via shard.Run (crash-resumable through its local cellcache
+//     tier), heartbeat while running, stream the completion record back.
+//
+// The correctness bar is the same as the shard subsystem's: however the
+// work is distributed, re-leased after worker deaths, or completed twice,
+// the merged Result — and its CSV bytes — must be identical to a
+// single-process experiments.RunSweep of the same configuration. The
+// fault-injection suite in this package enforces exactly that.
+package coord
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"readretry/internal/experiments"
+	"readretry/internal/experiments/cellcache"
+	"readretry/internal/experiments/shard"
+	"readretry/internal/ssd"
+)
+
+// Clock abstracts time for the lease state machine. The coordinator never
+// sleeps or sets timers through it — expiry is evaluated lazily against
+// Now() on every state access (plus ExpireLoop's periodic sweep in real
+// deployments) — so a test clock only needs a settable Now.
+type Clock interface {
+	Now() time.Time
+}
+
+type systemClock struct{}
+
+func (systemClock) Now() time.Time { return time.Now() }
+
+// SystemClock returns the wall clock.
+func SystemClock() Clock { return systemClock{} }
+
+// DefaultLeaseTTL is how long a lease stays valid without a heartbeat.
+// Three missed heartbeats at the Worker's TTL/3 cadence lose the lease.
+const DefaultLeaseTTL = 15 * time.Second
+
+// Spec is the wire-portable definition of one sweep: exactly the
+// experiments.Config fields that determine the cell-index space and every
+// measurement — the same fields experiments.ConfigHash covers — plus the
+// variant roster. Process-local fields (Parallelism, Progress, Sink,
+// Cache) are deliberately absent: each worker chooses its own. All leaf
+// values are plain numbers and strings, so the JSON round-trip is exact
+// and a reconstructed Config hashes identically on every machine.
+type Spec struct {
+	Base       ssd.Config              `json:"base"`
+	Workloads  []string                `json:"workloads,omitempty"`
+	Conditions []experiments.Condition `json:"conditions,omitempty"`
+	Temps      []float64               `json:"temps,omitempty"`
+	Requests   int                     `json:"requests"`
+	IOPS       float64                 `json:"iops"`
+	Seed       uint64                  `json:"seed"`
+	Variants   []experiments.Variant   `json:"variants"`
+}
+
+// SpecOf extracts the wire-portable spec of a configuration.
+func SpecOf(cfg experiments.Config, variants []experiments.Variant) Spec {
+	return Spec{
+		Base:       cfg.Base,
+		Workloads:  cfg.Workloads,
+		Conditions: cfg.Conditions,
+		Temps:      cfg.Temps,
+		Requests:   cfg.Requests,
+		IOPS:       cfg.IOPS,
+		Seed:       cfg.Seed,
+		Variants:   variants,
+	}
+}
+
+// Config reconstructs the experiments.Config the spec describes, with
+// every process-local field zero (the caller sets Parallelism and Cache
+// for its own machine).
+func (s Spec) Config() experiments.Config {
+	return experiments.Config{
+		Base:       s.Base,
+		Workloads:  s.Workloads,
+		Conditions: s.Conditions,
+		Temps:      s.Temps,
+		Requests:   s.Requests,
+		IOPS:       s.IOPS,
+		Seed:       s.Seed,
+	}
+}
+
+// ErrUnknownLease reports an operation on a lease ID the coordinator never
+// issued.
+var ErrUnknownLease = errors.New("coord: unknown lease")
+
+// ErrLeaseExpired reports an operation on a lease whose deadline has
+// passed (or that was revoked because its shard completed through another
+// path). The worker holding it must stop assuming ownership of the shard;
+// any completion record it still delivers is merged idempotently.
+var ErrLeaseExpired = errors.New("coord: lease expired")
+
+// ErrBadRecord reports a completion record that is internally inconsistent
+// (results not mirroring the manifest's cell list, indices outside the
+// grid). Unlike a foreign record it cannot be attributed to another sweep;
+// it is a worker bug, rejected outright.
+var ErrBadRecord = errors.New("coord: malformed completion record")
+
+// ForeignRecordError is the typed rejection for a completion record whose
+// ConfigHash matches no submitted job: the worker ran a different sweep
+// than anything the coordinator is tracking (mismatched flags, a stale
+// worker from an earlier deployment). The record is not merged — a foreign
+// hash means foreign measurements, and accepting them is exactly the
+// silent corruption the hash exists to prevent.
+type ForeignRecordError struct {
+	// ConfigHash is the record's hash; Jobs counts the sweeps the
+	// coordinator does track, to distinguish "wrong flags" from "nothing
+	// submitted yet" in the message.
+	ConfigHash string
+	Jobs       int
+}
+
+func (e *ForeignRecordError) Error() string {
+	return fmt.Sprintf("coord: completion record for foreign configuration %.12s… (no matching job among %d submitted); the worker ran a different sweep than anything this coordinator tracks",
+		e.ConfigHash, e.Jobs)
+}
+
+// Lease is one granted work unit: everything a worker needs to execute the
+// shard (the self-contained spec and manifest) plus the lease identity and
+// TTL it must heartbeat within. Deadline is the coordinator's clock, sent
+// for observability only — workers pace heartbeats off TTL, never off a
+// cross-machine timestamp comparison.
+type Lease struct {
+	ID       string         `json:"lease_id"`
+	JobID    string         `json:"job_id"`
+	Spec     Spec           `json:"spec"`
+	Manifest shard.Manifest `json:"manifest"`
+	TTL      time.Duration  `json:"ttl_ns"`
+	Deadline time.Time      `json:"deadline"`
+}
+
+type shardStatus uint8
+
+const (
+	shardPending shardStatus = iota // waiting for a worker (initial, or re-leased after expiry)
+	shardLeased                     // held by exactly one unexpired lease
+	shardDone                       // a valid completion record covered it
+)
+
+type shardState struct {
+	status  shardStatus
+	leaseID string // the holding lease while status == shardLeased
+}
+
+// Job is one submitted sweep: its plan, per-shard lease state, and the
+// incremental merge. ID is the sweep's ConfigHash — the natural
+// deduplication key, so concurrent clients submitting the same sweep share
+// one job (and one set of simulations). All mutable state is guarded by
+// the owning Coordinator's mutex; result and err are immutable once done
+// is closed.
+type Job struct {
+	ID   string
+	Spec Spec
+
+	grid *experiments.Grid
+	plan *shard.Plan
+
+	shards    []shardState
+	got       []cellcache.Measurement
+	have      []bool
+	remaining int // cells not yet merged
+	result    *experiments.Result
+	err       error
+	done      chan struct{}
+}
+
+// Done is closed when the job has finalized (result or error available).
+func (j *Job) Done() <-chan struct{} { return j.done }
+
+// Result returns the merged result once Done is closed. Calling it earlier
+// returns an error rather than a partial grid.
+func (j *Job) Result() (*experiments.Result, error) {
+	select {
+	case <-j.done:
+		return j.result, j.err
+	default:
+		return nil, fmt.Errorf("coord: job %.12s… not complete", j.ID)
+	}
+}
+
+// JobStatus is a point-in-time snapshot of one job.
+type JobStatus struct {
+	ID         string `json:"job_id"`
+	TotalCells int    `json:"total_cells"`
+	CellsDone  int    `json:"cells_done"`
+	ShardCount int    `json:"shard_count"`
+	ShardsDone int    `json:"shards_done"`
+	Done       bool   `json:"done"`
+	Err        string `json:"error,omitempty"`
+}
+
+// Options configures a Coordinator.
+type Options struct {
+	// Clock injects time; nil selects the wall clock.
+	Clock Clock
+	// LeaseTTL is how long a lease survives without a heartbeat; 0 selects
+	// DefaultLeaseTTL.
+	LeaseTTL time.Duration
+	// Cache, when non-nil, is the coordinator-side shared store: every
+	// merged measurement is written through to it, and each submission
+	// probes it first — so a sweep overlapping an earlier one (fig15 sharing
+	// fig14's Baseline and NoRR cells, a re-submitted grid after a daemon
+	// restart over a disk tier) starts with those cells already merged and
+	// only leases out the rest.
+	Cache cellcache.Cache
+}
+
+type lease struct {
+	id       string
+	job      *Job
+	shardIdx int
+	worker   string
+	deadline time.Time
+}
+
+// Coordinator is the transport-free sweep service: submitted jobs, the
+// shard work-queue, lease lifecycle, and the incremental merge. All
+// methods are safe for concurrent use.
+type Coordinator struct {
+	clock Clock
+	ttl   time.Duration
+	cache cellcache.Cache
+
+	mu     sync.Mutex
+	jobs   map[string]*Job // by ConfigHash
+	order  []*Job          // submission order, for fair lease scanning
+	leases map[string]*lease
+	// expired remembers revoked/expired lease IDs (and the job they
+	// belonged to, so finalizing a job reclaims its tombstones) to tell a
+	// late heartbeat "expired" rather than "unknown".
+	expired map[string]*Job
+	seq     uint64
+}
+
+// New builds a Coordinator.
+func New(opts Options) *Coordinator {
+	c := &Coordinator{
+		clock:   opts.Clock,
+		ttl:     opts.LeaseTTL,
+		cache:   opts.Cache,
+		jobs:    make(map[string]*Job),
+		leases:  make(map[string]*lease),
+		expired: make(map[string]*Job),
+	}
+	if c.clock == nil {
+		c.clock = SystemClock()
+	}
+	if c.ttl <= 0 {
+		c.ttl = DefaultLeaseTTL
+	}
+	return c
+}
+
+// LeaseTTL returns the configured lease lifetime.
+func (c *Coordinator) LeaseTTL() time.Duration { return c.ttl }
+
+// Submit registers a sweep, partitioned into shards work units, and
+// returns its job. Submitting a sweep whose ConfigHash is already tracked
+// returns the existing job regardless of the requested shard count —
+// concurrent clients asking for the same grid share one execution. The
+// spec is validated exactly as shard.NewPlan would (grid resolution,
+// condition validation) plus the device template itself, so a sweep whose
+// every cell would fail in the workers is refused at the door. When the
+// coordinator has a Cache, cells it already knows are merged immediately
+// and shards fully covered by them are born done; a fully cached sweep
+// completes without a single lease.
+func (c *Coordinator) Submit(spec Spec, shards int) (*Job, error) {
+	cfg := spec.Config()
+	if err := spec.Base.Validate(); err != nil {
+		return nil, fmt.Errorf("coord: submitted device template invalid: %w", err)
+	}
+	plan, err := shard.NewPlan(cfg, spec.Variants, shards)
+	if err != nil {
+		return nil, err
+	}
+	grid, err := experiments.NewGrid(cfg, spec.Variants)
+	if err != nil {
+		return nil, err
+	}
+
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if j, ok := c.jobs[plan.ConfigHash]; ok {
+		return j, nil
+	}
+	total := grid.Total()
+	j := &Job{
+		ID:        plan.ConfigHash,
+		Spec:      spec,
+		grid:      grid,
+		plan:      plan,
+		shards:    make([]shardState, len(plan.Shards)),
+		got:       make([]cellcache.Measurement, total),
+		have:      make([]bool, total),
+		remaining: total,
+		done:      make(chan struct{}),
+	}
+	if c.cache != nil {
+		for idx := 0; idx < total; idx++ {
+			wl, cond, v := grid.CellAt(idx)
+			key, err := experiments.CellKey(cfg, wl, cond, v)
+			if err != nil {
+				return nil, err
+			}
+			if m, ok := c.cache.Get(key); ok {
+				j.got[idx], j.have[idx] = m, true
+				j.remaining--
+			}
+		}
+	}
+	for i, m := range plan.Shards {
+		covered := true
+		for _, idx := range m.Cells {
+			if !j.have[idx] {
+				covered = false
+				break
+			}
+		}
+		if covered { // includes the empty shards of an n > cells plan
+			j.shards[i].status = shardDone
+		}
+	}
+	c.jobs[j.ID] = j
+	c.order = append(c.order, j)
+	if j.remaining == 0 {
+		c.finalizeLocked(j)
+	}
+	return j, nil
+}
+
+// Job returns a submitted job by ID.
+func (c *Coordinator) Job(id string) (*Job, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	j, ok := c.jobs[id]
+	return j, ok
+}
+
+// Jobs snapshots every submitted job's status, in submission order.
+func (c *Coordinator) Jobs() []JobStatus {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]JobStatus, 0, len(c.order))
+	for _, j := range c.order {
+		out = append(out, c.statusLocked(j))
+	}
+	return out
+}
+
+// Status snapshots one job.
+func (c *Coordinator) Status(id string) (JobStatus, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	j, ok := c.jobs[id]
+	if !ok {
+		return JobStatus{}, false
+	}
+	return c.statusLocked(j), true
+}
+
+func (c *Coordinator) statusLocked(j *Job) JobStatus {
+	st := JobStatus{
+		ID:         j.ID,
+		TotalCells: j.grid.Total(),
+		CellsDone:  j.grid.Total() - j.remaining,
+		ShardCount: len(j.shards),
+	}
+	for _, s := range j.shards {
+		if s.status == shardDone {
+			st.ShardsDone++
+		}
+	}
+	select {
+	case <-j.done:
+		st.Done = true
+		if j.err != nil {
+			st.Err = j.err.Error()
+		}
+	default:
+	}
+	return st
+}
+
+// Lease hands out the next unleased shard across all unfinished jobs, in
+// submission order, or reports none available (everything done, or every
+// pending shard currently leased). Expired leases are reclaimed first, so
+// a dead worker's shard becomes available the moment its deadline passes —
+// no separate expiry pass needs to have run.
+func (c *Coordinator) Lease(workerID string) (*Lease, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	now := c.clock.Now()
+	c.expireLocked(now)
+	for _, j := range c.order {
+		select {
+		case <-j.done:
+			continue
+		default:
+		}
+		for i := range j.shards {
+			if j.shards[i].status != shardPending {
+				continue
+			}
+			c.seq++
+			l := &lease{
+				id:       fmt.Sprintf("lease-%d", c.seq),
+				job:      j,
+				shardIdx: i,
+				worker:   workerID,
+				deadline: now.Add(c.ttl),
+			}
+			c.leases[l.id] = l
+			j.shards[i] = shardState{status: shardLeased, leaseID: l.id}
+			return &Lease{
+				ID:       l.id,
+				JobID:    j.ID,
+				Spec:     j.Spec,
+				Manifest: j.plan.Shards[i],
+				TTL:      c.ttl,
+				Deadline: l.deadline,
+			}, true
+		}
+	}
+	return nil, false
+}
+
+// Heartbeat renews a lease, returning its new deadline. A lease whose
+// deadline has already passed — even if no expiry pass has run — gets
+// ErrLeaseExpired: renewal cannot resurrect it, because its shard may
+// already be leased to another worker. An ID the coordinator never issued
+// gets ErrUnknownLease.
+func (c *Coordinator) Heartbeat(leaseID string) (time.Time, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	now := c.clock.Now()
+	c.expireLocked(now)
+	l, ok := c.leases[leaseID]
+	if !ok {
+		if _, was := c.expired[leaseID]; was {
+			return time.Time{}, ErrLeaseExpired
+		}
+		return time.Time{}, ErrUnknownLease
+	}
+	l.deadline = now.Add(c.ttl)
+	return l.deadline, nil
+}
+
+// Complete accepts a shard's completion record and merges its measurements
+// incrementally. The record is self-describing, so acceptance is decided
+// by its content, not by who delivers it:
+//
+//   - A record whose ConfigHash matches no job is rejected with a typed
+//     *ForeignRecordError and merges nothing.
+//   - A record whose results do not mirror its manifest's cell list is
+//     rejected as malformed (ErrBadRecord).
+//   - A valid record is merged idempotently — cells already covered are
+//     left untouched, so duplicate deliveries and overlapping stale
+//     records cannot change the result. leaseID is advisory: a record
+//     delivered under an expired lease (the worker outlived its lease
+//     mid-upload) is still accepted, because the measurements are
+//     deterministic — identical to what the re-leased worker would
+//     produce — and discarding finished work would only waste it.
+//
+// When the record matches one of the job's planned shards exactly, that
+// shard is marked done and any lease still on it (the deliverer's, or a
+// re-leased worker's) is revoked; the revoked worker learns at its next
+// heartbeat. The returned duplicate flag reports whether the shard had
+// already completed. When the last cell lands the job finalizes: the
+// merged grid is normalized once (shard.Assemble) and Done closes.
+func (c *Coordinator) Complete(leaseID string, rec *shard.Record) (duplicate bool, err error) {
+	if rec == nil {
+		return false, fmt.Errorf("%w: no record", ErrBadRecord)
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.expireLocked(c.clock.Now())
+
+	j, ok := c.jobs[rec.Manifest.ConfigHash]
+	if !ok {
+		return false, &ForeignRecordError{ConfigHash: rec.Manifest.ConfigHash, Jobs: len(c.jobs)}
+	}
+	total := j.grid.Total()
+	if rec.Manifest.Version > shard.ManifestVersion || rec.Manifest.TotalCells != total {
+		return false, fmt.Errorf("%w: manifest (version %d, %d cells) does not fit job %.12s… (%d cells)",
+			ErrBadRecord, rec.Manifest.Version, rec.Manifest.TotalCells, j.ID, total)
+	}
+	if len(rec.Results) != len(rec.Manifest.Cells) {
+		return false, fmt.Errorf("%w: %d results for %d assigned cells", ErrBadRecord, len(rec.Results), len(rec.Manifest.Cells))
+	}
+	for i, cr := range rec.Results {
+		if cr.Index != rec.Manifest.Cells[i] {
+			return false, fmt.Errorf("%w: result %d holds cell %d, manifest assigns %d", ErrBadRecord, i, cr.Index, rec.Manifest.Cells[i])
+		}
+		if cr.Index < 0 || cr.Index >= total {
+			return false, fmt.Errorf("%w: cell index %d outside grid [0, %d)", ErrBadRecord, cr.Index, total)
+		}
+	}
+
+	// Identify the planned shard this record completes, if any. A record
+	// cut under a different partition of the same sweep (a client that
+	// planned its own shard count) still merges cell-wise below; it just
+	// cannot mark a planned shard done unless the cell lists agree.
+	shardIdx := -1
+	if rec.Manifest.Count == len(j.plan.Shards) &&
+		rec.Manifest.Index >= 0 && rec.Manifest.Index < len(j.plan.Shards) &&
+		equalCells(rec.Manifest.Cells, j.plan.Shards[rec.Manifest.Index].Cells) {
+		shardIdx = rec.Manifest.Index
+	}
+	duplicate = shardIdx >= 0 && j.shards[shardIdx].status == shardDone
+
+	finalized := false
+	select {
+	case <-j.done:
+		finalized = true
+	default:
+	}
+	if !finalized {
+		for _, cr := range rec.Results {
+			if !j.have[cr.Index] {
+				j.got[cr.Index] = cr.Measurement
+				j.have[cr.Index] = true
+				j.remaining--
+			}
+		}
+	}
+	if c.cache != nil {
+		for _, cr := range rec.Results {
+			c.cache.Put(cr.Key, cr.Measurement)
+		}
+	}
+	if shardIdx >= 0 && j.shards[shardIdx].status != shardDone {
+		if st := j.shards[shardIdx]; st.status == shardLeased {
+			c.revokeLocked(st.leaseID)
+		}
+		j.shards[shardIdx] = shardState{status: shardDone}
+	}
+	if !finalized && j.remaining == 0 {
+		c.finalizeLocked(j)
+	}
+	return duplicate, nil
+}
+
+// ExpireNow reclaims every lease whose deadline has passed, returning how
+// many shards went back to pending. Lazy expiry inside Lease/Heartbeat/
+// Complete makes this unnecessary for correctness; ExpireLoop calls it so
+// an idle daemon's state (and /job output) still converges in real time.
+func (c *Coordinator) ExpireNow() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.expireLocked(c.clock.Now())
+}
+
+// ExpireLoop runs ExpireNow every interval until ctx ends (interval 0
+// selects half the lease TTL). Only deployments on the system clock need
+// it; tests drive expiry through their fake clock instead.
+func (c *Coordinator) ExpireLoop(ctx context.Context, interval time.Duration) {
+	if interval <= 0 {
+		interval = c.ttl / 2
+	}
+	t := time.NewTicker(interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-t.C:
+			c.ExpireNow()
+		}
+	}
+}
+
+// expireLocked reclaims leases at or past deadline: a lease is valid
+// strictly before its deadline and expired exactly at it, so "missed
+// heartbeat expires at the deadline" is a sharp boundary the property
+// tests pin down to the nanosecond.
+func (c *Coordinator) expireLocked(now time.Time) int {
+	n := 0
+	for id, l := range c.leases {
+		if now.Before(l.deadline) {
+			continue
+		}
+		delete(c.leases, id)
+		c.expired[id] = l.job
+		st := &l.job.shards[l.shardIdx]
+		if st.status == shardLeased && st.leaseID == id {
+			*st = shardState{status: shardPending}
+			n++
+		}
+	}
+	return n
+}
+
+// revokeLocked retires a live lease whose shard completed through another
+// path; the holder's next heartbeat reports ErrLeaseExpired.
+func (c *Coordinator) revokeLocked(id string) {
+	if l, ok := c.leases[id]; ok {
+		delete(c.leases, id)
+		c.expired[id] = l.job
+	}
+}
+
+// finalizeLocked assembles and normalizes the merged grid and closes done.
+// Tombstoned lease IDs of the finished job are reclaimed so a long-lived
+// daemon's expired-set stays proportional to its *active* jobs.
+func (c *Coordinator) finalizeLocked(j *Job) {
+	j.result, j.err = shard.Assemble(j.grid, j.Spec.Variants, j.got)
+	for id, owner := range c.expired {
+		if owner == j {
+			delete(c.expired, id)
+		}
+	}
+	close(j.done)
+}
+
+func equalCells(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,416 @@
+package coord
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"net/url"
+	"os"
+	"strings"
+	"time"
+
+	"readretry/internal/experiments"
+	"readretry/internal/experiments/shard"
+)
+
+// The coordinator protocol is five JSON-over-HTTP endpoints (DESIGN.md
+// §10 specifies the state machine they drive):
+//
+//	POST /submit     {spec, shards}        → {job_id, total_cells, shards, done}
+//	POST /lease      {worker_id}           → 200 Lease | 204 (nothing available)
+//	POST /heartbeat  {lease_id}            → {deadline} | 410 (expired/unknown)
+//	POST /complete   {lease_id, record}    → {duplicate} | 409 (foreign) | 400 (malformed)
+//	GET  /job?id=…                         → JobStatus
+//	GET  /result?id=…                      → experiments.Result (blocks until the job finalizes)
+//
+// Statuses carry typed meaning the Client reconstructs: 410 → ErrLeaseExpired
+// (or ErrUnknownLease), 409 → *ForeignRecordError, 400 → ErrBadRecord.
+
+type submitRequest struct {
+	Spec   Spec `json:"spec"`
+	Shards int  `json:"shards"`
+}
+
+// SubmitReceipt acknowledges a submission.
+type SubmitReceipt struct {
+	JobID      string `json:"job_id"`
+	TotalCells int    `json:"total_cells"`
+	Shards     int    `json:"shards"`
+	// Done reports the job already finalized at submission time (fully
+	// covered by the coordinator's cache, or a duplicate of a finished
+	// sweep).
+	Done bool `json:"done"`
+}
+
+type leaseRequest struct {
+	WorkerID string `json:"worker_id"`
+}
+
+type heartbeatRequest struct {
+	LeaseID string `json:"lease_id"`
+}
+
+type heartbeatResponse struct {
+	Deadline time.Time `json:"deadline"`
+}
+
+type completeRequest struct {
+	LeaseID string        `json:"lease_id"`
+	Record  *shard.Record `json:"record"`
+}
+
+type completeResponse struct {
+	Duplicate bool `json:"duplicate"`
+}
+
+type errorResponse struct {
+	Error string `json:"error"`
+	// Kind discriminates the typed errors so clients rebuild them:
+	// "lease_expired", "unknown_lease", "foreign_record", "bad_record".
+	Kind       string `json:"kind,omitempty"`
+	ConfigHash string `json:"config_hash,omitempty"`
+}
+
+// Server serves a Coordinator over HTTP.
+type Server struct {
+	c *Coordinator
+}
+
+// NewServer wraps a coordinator.
+func NewServer(c *Coordinator) *Server { return &Server{c: c} }
+
+// Handler returns the protocol's http.Handler.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/submit", s.handleSubmit)
+	mux.HandleFunc("/lease", s.handleLease)
+	mux.HandleFunc("/heartbeat", s.handleHeartbeat)
+	mux.HandleFunc("/complete", s.handleComplete)
+	mux.HandleFunc("/job", s.handleJob)
+	mux.HandleFunc("/result", s.handleResult)
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, status int, v interface{}) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, err error) {
+	resp := errorResponse{Error: err.Error()}
+	var foreign *ForeignRecordError
+	switch {
+	case errors.As(err, &foreign):
+		resp.Kind = "foreign_record"
+		resp.ConfigHash = foreign.ConfigHash
+	case errors.Is(err, ErrLeaseExpired):
+		resp.Kind = "lease_expired"
+	case errors.Is(err, ErrUnknownLease):
+		resp.Kind = "unknown_lease"
+	case errors.Is(err, ErrBadRecord):
+		resp.Kind = "bad_record"
+	}
+	writeJSON(w, status, resp)
+}
+
+// decode enforces the method and parses the body; a false return means the
+// response has been written.
+func decode(w http.ResponseWriter, r *http.Request, method string, v interface{}) bool {
+	if r.Method != method {
+		w.Header().Set("Allow", method)
+		writeError(w, http.StatusMethodNotAllowed, fmt.Errorf("coord: %s needs %s", r.URL.Path, method))
+		return false
+	}
+	if v == nil {
+		return true
+	}
+	if err := json.NewDecoder(r.Body).Decode(v); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("coord: parsing %s request: %w", r.URL.Path, err))
+		return false
+	}
+	return true
+}
+
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	var req submitRequest
+	if !decode(w, r, http.MethodPost, &req) {
+		return
+	}
+	j, err := s.c.Submit(req.Spec, req.Shards)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	st, _ := s.c.Status(j.ID)
+	writeJSON(w, http.StatusOK, SubmitReceipt{
+		JobID: j.ID, TotalCells: st.TotalCells, Shards: st.ShardCount, Done: st.Done,
+	})
+}
+
+func (s *Server) handleLease(w http.ResponseWriter, r *http.Request) {
+	var req leaseRequest
+	if !decode(w, r, http.MethodPost, &req) {
+		return
+	}
+	l, ok := s.c.Lease(req.WorkerID)
+	if !ok {
+		w.WriteHeader(http.StatusNoContent)
+		return
+	}
+	writeJSON(w, http.StatusOK, l)
+}
+
+func (s *Server) handleHeartbeat(w http.ResponseWriter, r *http.Request) {
+	var req heartbeatRequest
+	if !decode(w, r, http.MethodPost, &req) {
+		return
+	}
+	deadline, err := s.c.Heartbeat(req.LeaseID)
+	if err != nil {
+		writeError(w, http.StatusGone, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, heartbeatResponse{Deadline: deadline})
+}
+
+func (s *Server) handleComplete(w http.ResponseWriter, r *http.Request) {
+	var req completeRequest
+	if !decode(w, r, http.MethodPost, &req) {
+		return
+	}
+	dup, err := s.c.Complete(req.LeaseID, req.Record)
+	if err != nil {
+		var foreign *ForeignRecordError
+		if errors.As(err, &foreign) {
+			writeError(w, http.StatusConflict, err)
+			return
+		}
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, completeResponse{Duplicate: dup})
+}
+
+func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
+	if !decode(w, r, http.MethodGet, nil) {
+		return
+	}
+	st, ok := s.c.Status(r.URL.Query().Get("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, fmt.Errorf("coord: unknown job %q", r.URL.Query().Get("id")))
+		return
+	}
+	writeJSON(w, http.StatusOK, st)
+}
+
+func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
+	if !decode(w, r, http.MethodGet, nil) {
+		return
+	}
+	id := r.URL.Query().Get("id")
+	j, ok := s.c.Job(id)
+	if !ok {
+		writeError(w, http.StatusNotFound, fmt.Errorf("coord: unknown job %q", id))
+		return
+	}
+	select {
+	case <-r.Context().Done():
+		return // client gave up; nothing useful to write
+	case <-j.Done():
+	}
+	res, err := j.Result()
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, res)
+}
+
+// Serve listens on addr and serves the coordinator protocol until ctx
+// ends, running the expiry loop alongside. It is the one-call daemon mode
+// (the facade's ServeSweeps); cmd/repro composes the pieces itself so it
+// can also submit and render its own sweeps.
+func Serve(ctx context.Context, addr string, opts Options) error {
+	c := New(opts)
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return fmt.Errorf("coord: %w", err)
+	}
+	srv := &http.Server{Handler: NewServer(c).Handler()}
+	go c.ExpireLoop(ctx, 0)
+	go func() {
+		<-ctx.Done()
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		_ = srv.Shutdown(shutdownCtx)
+	}()
+	if err := srv.Serve(ln); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		return fmt.Errorf("coord: %w", err)
+	}
+	return nil
+}
+
+// Client speaks the coordinator protocol. The zero value is unusable; use
+// NewClient, which normalizes bare host:port addresses to http URLs.
+type Client struct {
+	BaseURL string
+	HTTP    *http.Client
+}
+
+// NewClient builds a client for a coordinator at addr ("host:port" or a
+// full http URL).
+func NewClient(addr string) *Client {
+	if !strings.Contains(addr, "://") {
+		addr = "http://" + addr
+	}
+	return &Client{BaseURL: strings.TrimRight(addr, "/"), HTTP: &http.Client{}}
+}
+
+func (cl *Client) httpClient() *http.Client {
+	if cl.HTTP != nil {
+		return cl.HTTP
+	}
+	return http.DefaultClient
+}
+
+// call performs one round-trip; out is filled on 2xx. Non-2xx statuses
+// return the decoded typed error.
+func (cl *Client) call(ctx context.Context, method, path string, in, out interface{}) (int, error) {
+	var body io.Reader
+	if in != nil {
+		data, err := json.Marshal(in)
+		if err != nil {
+			return 0, fmt.Errorf("coord: encoding %s request: %w", path, err)
+		}
+		body = bytes.NewReader(data)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, cl.BaseURL+path, body)
+	if err != nil {
+		return 0, fmt.Errorf("coord: %w", err)
+	}
+	if in != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := cl.httpClient().Do(req)
+	if err != nil {
+		return 0, fmt.Errorf("coord: %s: %w", path, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode >= 200 && resp.StatusCode < 300 {
+		if out != nil && resp.StatusCode != http.StatusNoContent {
+			if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+				return resp.StatusCode, fmt.Errorf("coord: decoding %s response: %w", path, err)
+			}
+		}
+		return resp.StatusCode, nil
+	}
+	var e errorResponse
+	data, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
+	if json.Unmarshal(data, &e) != nil || e.Error == "" {
+		e.Error = fmt.Sprintf("%s: %s", resp.Status, strings.TrimSpace(string(data)))
+	}
+	switch e.Kind {
+	case "foreign_record":
+		return resp.StatusCode, &ForeignRecordError{ConfigHash: e.ConfigHash}
+	case "lease_expired":
+		return resp.StatusCode, fmt.Errorf("%w (coordinator: %s)", ErrLeaseExpired, e.Error)
+	case "unknown_lease":
+		return resp.StatusCode, fmt.Errorf("%w (coordinator: %s)", ErrUnknownLease, e.Error)
+	case "bad_record":
+		return resp.StatusCode, fmt.Errorf("%w (coordinator: %s)", ErrBadRecord, e.Error)
+	}
+	return resp.StatusCode, fmt.Errorf("coord: %s: %s", path, e.Error)
+}
+
+// Submit registers a sweep with the coordinator.
+func (cl *Client) Submit(ctx context.Context, spec Spec, shards int) (SubmitReceipt, error) {
+	var receipt SubmitReceipt
+	_, err := cl.call(ctx, http.MethodPost, "/submit", submitRequest{Spec: spec, Shards: shards}, &receipt)
+	return receipt, err
+}
+
+// Lease requests the next available shard; ok is false when none is
+// available right now (poll again later).
+func (cl *Client) Lease(ctx context.Context, workerID string) (*Lease, bool, error) {
+	var l Lease
+	status, err := cl.call(ctx, http.MethodPost, "/lease", leaseRequest{WorkerID: workerID}, &l)
+	if err != nil {
+		return nil, false, err
+	}
+	if status == http.StatusNoContent {
+		return nil, false, nil
+	}
+	return &l, true, nil
+}
+
+// Heartbeat renews a lease; ErrLeaseExpired (wrapped) means the worker has
+// lost the shard and must stop working on it.
+func (cl *Client) Heartbeat(ctx context.Context, leaseID string) (time.Time, error) {
+	var resp heartbeatResponse
+	_, err := cl.call(ctx, http.MethodPost, "/heartbeat", heartbeatRequest{LeaseID: leaseID}, &resp)
+	return resp.Deadline, err
+}
+
+// Complete delivers a completion record; the duplicate flag reports the
+// shard had already completed through another delivery.
+func (cl *Client) Complete(ctx context.Context, leaseID string, rec *shard.Record) (bool, error) {
+	var resp completeResponse
+	_, err := cl.call(ctx, http.MethodPost, "/complete", completeRequest{LeaseID: leaseID, Record: rec}, &resp)
+	return resp.Duplicate, err
+}
+
+// Status fetches one job's snapshot.
+func (cl *Client) Status(ctx context.Context, jobID string) (JobStatus, error) {
+	var st JobStatus
+	_, err := cl.call(ctx, http.MethodGet, "/job?id="+url.QueryEscape(jobID), nil, &st)
+	return st, err
+}
+
+// Result blocks until the job finalizes and returns its merged result.
+// Go's JSON float encoding is exact (shortest round-trip form), so the
+// decoded result — and any CSV written from it — is byte-identical to the
+// coordinator's.
+func (cl *Client) Result(ctx context.Context, jobID string) (*experiments.Result, error) {
+	var res experiments.Result
+	_, err := cl.call(ctx, http.MethodGet, "/result?id="+url.QueryEscape(jobID), nil, &res)
+	if err != nil {
+		return nil, err
+	}
+	return &res, nil
+}
+
+// SubmitSweep submits a sweep to the coordinator at addr and blocks until
+// its merged result is available — the one-call client path (the facade's
+// SubmitSweep): concurrent callers submitting the same configuration share
+// one job and all receive the identical result.
+func SubmitSweep(ctx context.Context, addr string, cfg experiments.Config, variants []experiments.Variant, shards int) (*experiments.Result, error) {
+	cl := NewClient(addr)
+	receipt, err := cl.Submit(ctx, SpecOf(cfg, variants), shards)
+	if err != nil {
+		return nil, err
+	}
+	return cl.Result(ctx, receipt.JobID)
+}
+
+// isTransportError reports a failure to reach the coordinator at all (as
+// opposed to an HTTP-level response): the signal the worker loop uses to
+// tell "coordinator finished and exited" from a protocol error.
+func isTransportError(err error) bool {
+	var urlErr *url.Error
+	return errors.As(err, &urlErr)
+}
+
+// workerID returns a default worker identity: host + pid.
+func workerID() string {
+	host, err := os.Hostname()
+	if err != nil {
+		host = "worker"
+	}
+	return fmt.Sprintf("%s-%d", host, os.Getpid())
+}

@@ -1,0 +1,209 @@
+package coord
+
+import (
+	"context"
+	"errors"
+	"time"
+
+	"readretry/internal/experiments/cellcache"
+	"readretry/internal/experiments/shard"
+)
+
+// Worker pulls shards from a coordinator and runs them. The loop is
+// deliberately stateless between shards: each lease carries a
+// self-contained Spec + Manifest, so a worker needs nothing but the
+// coordinator's address — no shared filesystem, no flag agreement.
+// shard.Run re-derives the config hash before simulating, so a
+// coordinator/worker engine mismatch still fails loudly, never merges
+// garbage.
+type Worker struct {
+	// Client speaks to the coordinator. Required.
+	Client *Client
+	// ID identifies this worker in leases; defaults to host-pid.
+	ID string
+	// Cache, when non-nil, is this worker's local measurement tier
+	// (typically a cellcache disk tier). A worker killed mid-shard and
+	// restarted over the same cache re-simulates only the cells the crash
+	// lost — the same crash-resume path PR 5's shard runner has.
+	Cache cellcache.Cache
+	// Parallelism bounds concurrent cells within a shard; 0 means the
+	// engine default (GOMAXPROCS).
+	Parallelism int
+	// Poll is how long to idle when the coordinator has no work;
+	// defaults to 1s.
+	Poll time.Duration
+	// HeartbeatEvery overrides the heartbeat cadence; 0 selects a third
+	// of the lease TTL (three chances before the lease dies).
+	HeartbeatEvery time.Duration
+	// OnCell, when non-nil, observes per-cell progress within a shard —
+	// also the fault-injection hook the tests use to kill a worker
+	// mid-shard.
+	OnCell func(m shard.Manifest, done, total int)
+	// Logf, when non-nil, receives progress lines.
+	Logf func(format string, args ...interface{})
+}
+
+func (w *Worker) logf(format string, args ...interface{}) {
+	if w.Logf != nil {
+		w.Logf(format, args...)
+	}
+}
+
+// Run pulls and executes shards until ctx ends or the coordinator goes
+// away. Before first contact, transport errors retry (worker started
+// before the coordinator finished binding); after first contact, a
+// transport error is read as "coordinator served its sweeps and exited" —
+// the CI topology — and Run returns nil. A lost lease (expiry raced a
+// slow shard) is not fatal either: the shard has been re-leased to
+// someone else, so the loop just pulls again.
+func (w *Worker) Run(ctx context.Context) error {
+	if w.Client == nil {
+		return errors.New("coord: worker has no client")
+	}
+	id := w.ID
+	if id == "" {
+		id = workerID()
+	}
+	poll := w.Poll
+	if poll <= 0 {
+		poll = time.Second
+	}
+	contacted := false
+	for {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		l, ok, err := w.Client.Lease(ctx, id)
+		if err != nil {
+			if ctx.Err() != nil {
+				return ctx.Err()
+			}
+			if isTransportError(err) {
+				if contacted {
+					w.logf("worker %s: coordinator gone (%v); done", id, err)
+					return nil
+				}
+				w.logf("worker %s: waiting for coordinator: %v", id, err)
+				if !sleep(ctx, poll) {
+					return ctx.Err()
+				}
+				continue
+			}
+			return err
+		}
+		contacted = true
+		if !ok {
+			if !sleep(ctx, poll) {
+				return ctx.Err()
+			}
+			continue
+		}
+		if err := w.runLease(ctx, l); err != nil {
+			if ctx.Err() != nil {
+				return ctx.Err()
+			}
+			if errors.Is(err, ErrLeaseExpired) || errors.Is(err, ErrUnknownLease) {
+				// The coordinator gave this shard away; its copy of the
+				// work is authoritative, ours is abandoned.
+				w.logf("worker %s: lost lease %s on shard %d/%d: %v", id, l.ID, l.Manifest.Index, l.Manifest.Count, err)
+				continue
+			}
+			if contacted && isTransportError(err) {
+				w.logf("worker %s: coordinator gone mid-shard (%v); done", id, err)
+				return nil
+			}
+			return err
+		}
+	}
+}
+
+// runLease executes one leased shard: heartbeats in the background at a
+// third of the TTL, runs the manifest through shard.Run over the worker's
+// cache, and delivers the completion record. A heartbeat rejection
+// cancels the in-flight run — there is no point finishing a shard the
+// coordinator has re-leased (and the duplicate would be harmlessly
+// idempotent anyway, the cancel just saves the simulation time).
+func (w *Worker) runLease(ctx context.Context, l *Lease) error {
+	cfg := l.Spec.Config()
+	cfg.Parallelism = w.Parallelism
+	cfg.Cache = w.Cache
+	if w.OnCell != nil {
+		m := l.Manifest
+		cfg.Progress = func(done, total int) { w.OnCell(m, done, total) }
+	}
+
+	runCtx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	var hbErr error
+	hbDone := make(chan struct{})
+	interval := w.HeartbeatEvery
+	if interval <= 0 {
+		interval = l.TTL / 3
+	}
+	if interval <= 0 {
+		interval = time.Second
+	}
+	go func() {
+		defer close(hbDone)
+		ticker := time.NewTicker(interval)
+		defer ticker.Stop()
+		for {
+			select {
+			case <-runCtx.Done():
+				return
+			case <-ticker.C:
+			}
+			if _, err := w.Client.Heartbeat(runCtx, l.ID); err != nil {
+				if runCtx.Err() != nil {
+					return
+				}
+				hbErr = err
+				cancel()
+				return
+			}
+		}
+	}()
+
+	w.logf("worker: running shard %d/%d (%d cells, lease %s)", l.Manifest.Index, l.Manifest.Count, len(l.Manifest.Cells), l.ID)
+	rec, runErr := shard.Run(runCtx, cfg, l.Spec.Variants, l.Manifest, "")
+	cancel()
+	<-hbDone
+	if hbErr != nil {
+		// The heartbeat failure is the root cause; the run error is just
+		// its cancellation shadow.
+		return hbErr
+	}
+	if runErr != nil {
+		return runErr
+	}
+	if _, err := w.Client.Complete(ctx, l.ID, rec); err != nil {
+		return err
+	}
+	return nil
+}
+
+// sleep waits d or until ctx ends, reporting whether the full wait
+// elapsed.
+func sleep(ctx context.Context, d time.Duration) bool {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return false
+	case <-t.C:
+		return true
+	}
+}
+
+// RunWorker is the one-call worker mode (the facade's RunWorker and
+// cmd/repro's -worker): pull shards from the coordinator at addr over the
+// given cache until it drains.
+func RunWorker(ctx context.Context, addr string, cache cellcache.Cache, parallelism int, logf func(string, ...interface{})) error {
+	w := &Worker{
+		Client:      NewClient(addr),
+		Cache:       cache,
+		Parallelism: parallelism,
+		Logf:        logf,
+	}
+	return w.Run(ctx)
+}

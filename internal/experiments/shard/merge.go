@@ -24,9 +24,12 @@ type MissingCellsError struct {
 	Total      int
 	// Missing holds the absent canonical cell indices, ascending; Labels
 	// names each one the way the figures do ("stg_0 2K/6mo PnAR2"),
-	// parallel to Missing.
+	// parallel to Missing; Keys holds each cell's content address — the
+	// exact cellcache entry the operator can look for in the shared store —
+	// parallel again.
 	Missing []int
 	Labels  []string
+	Keys    []string
 	// MatchedRecords and ForeignRecords count the completion records the
 	// scan consumed and skipped (different sweep: config-hash or format
 	// mismatch). Foreign records are normal when sweeps share a directory
@@ -38,8 +41,12 @@ type MissingCellsError struct {
 	ForeignRecords int
 }
 
+// Error names every absent cell — canonical index, figure label, and cache
+// key — so the operator can locate (or rule out) each one in the shared
+// store without re-deriving anything. Deliberately untruncated: a merge
+// failure is the moment the exact gap matters, and eliding "… and N more"
+// used to hide precisely the cells being hunted.
 func (e *MissingCellsError) Error() string {
-	const show = 12
 	var b strings.Builder
 	fmt.Fprintf(&b, "shard: merge incomplete: %d of %d cells missing", len(e.Missing), e.Total)
 	if e.ForeignRecords > 0 && e.MatchedRecords == 0 {
@@ -48,11 +55,10 @@ func (e *MissingCellsError) Error() string {
 	}
 	b.WriteString(":")
 	for i, label := range e.Labels {
-		if i == show {
-			fmt.Fprintf(&b, " … and %d more", len(e.Labels)-show)
-			break
-		}
 		fmt.Fprintf(&b, "\n  cell %d: %s", e.Missing[i], label)
+		if i < len(e.Keys) && e.Keys[i] != "" {
+			fmt.Fprintf(&b, " (cache key %s)", e.Keys[i])
+		}
 	}
 	return b.String()
 }
@@ -121,15 +127,36 @@ func Merge(cfg experiments.Config, variants []experiments.Variant, dir string, c
 		}
 		for _, idx := range missing {
 			e.Labels = append(e.Labels, g.Label(idx))
+			// ConfigHash above already proved the device template hashes,
+			// so per-cell key derivation cannot fail here; a defensive
+			// empty key just omits that cell's address from the message.
+			wl, cond, v := g.CellAt(idx)
+			key, kerr := experiments.CellKey(cfg, wl, cond, v)
+			if kerr != nil {
+				key = ""
+			}
+			e.Keys = append(e.Keys, key)
 		}
 		return nil, e
 	}
+	return Assemble(g, variants, got)
+}
 
-	res := &experiments.Result{Cells: make([]experiments.Cell, total)}
+// Assemble builds the final normalized Result from a fully covered
+// measurement vector in canonical order — the last step of every merge,
+// shared by the batch Merge above and the coordinator's incremental merge
+// (internal/experiments/coord), so both produce bit-identical output: the
+// cells are decoded from the grid, the raw measurements attached, and the
+// engine's post-hoc normalization applied exactly once over the whole set.
+func Assemble(g *experiments.Grid, variants []experiments.Variant, got []cellcache.Measurement) (*experiments.Result, error) {
+	if len(got) != g.Total() {
+		return nil, fmt.Errorf("shard: assembling %d measurements over a %d-cell grid", len(got), g.Total())
+	}
+	res := &experiments.Result{Cells: make([]experiments.Cell, g.Total())}
 	for _, v := range variants {
 		res.Configs = append(res.Configs, v.Name)
 	}
-	for idx := 0; idx < total; idx++ {
+	for idx := range got {
 		wl, cond, v := g.CellAt(idx)
 		m := got[idx]
 		res.Cells[idx] = experiments.Cell{

@@ -54,7 +54,7 @@ func Run(ctx context.Context, cfg experiments.Config, variants []experiments.Var
 			return nil, fmt.Errorf("shard: %w", err)
 		}
 		if err := writeJSON(filepath.Join(dir, m.ManifestFilename()), m); err != nil {
-			return nil, err
+			return nil, fmt.Errorf("shard %d/%d: writing manifest: %w", m.Index, m.Count, err)
 		}
 	}
 
@@ -80,8 +80,11 @@ func Run(ctx context.Context, cfg experiments.Config, variants []experiments.Var
 		})
 	}
 	if dir != "" {
+		// The index in the message matters: by this point every simulation
+		// has succeeded, so "which shard's record failed to land" is exactly
+		// what the operator re-runs.
 		if err := writeJSON(filepath.Join(dir, m.RecordFilename()), rec); err != nil {
-			return nil, err
+			return nil, fmt.Errorf("shard %d/%d: writing completion record: %w", m.Index, m.Count, err)
 		}
 	}
 	return rec, nil

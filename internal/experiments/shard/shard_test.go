@@ -4,6 +4,8 @@ import (
 	"bytes"
 	"context"
 	"errors"
+	"fmt"
+	"os"
 	"path/filepath"
 	"reflect"
 	"strings"
@@ -457,5 +459,75 @@ func TestNewPlanRejectsBadInputs(t *testing.T) {
 	bad.Conditions = []experiments.Condition{{PEC: -1}}
 	if _, err := shard.NewPlan(bad, twoVariants(), 2); err == nil {
 		t.Fatal("NewPlan accepted an invalid condition grid")
+	}
+}
+
+// TestMissingCellsErrorNamesEveryCellAndKey: the merge-failure message
+// must name every absent cell — index, figure label, and cache key — with
+// no truncation, because the listed cells are exactly what the operator
+// hunts for in the shared store.
+func TestMissingCellsErrorNamesEveryCellAndKey(t *testing.T) {
+	cfg := baseConfig(7)
+	variants := twoVariants()
+	g, err := experiments.NewGrid(cfg, variants)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Empty directory: the whole grid is missing.
+	_, err = shard.Merge(cfg, variants, t.TempDir(), nil)
+	var missing *shard.MissingCellsError
+	if !errors.As(err, &missing) {
+		t.Fatalf("merge over empty dir returned %v, want *MissingCellsError", err)
+	}
+	if len(missing.Missing) != g.Total() || len(missing.Keys) != g.Total() {
+		t.Fatalf("error carries %d cells and %d keys, want %d of each",
+			len(missing.Missing), len(missing.Keys), g.Total())
+	}
+	msg := err.Error()
+	for idx := 0; idx < g.Total(); idx++ {
+		wl, cond, v := g.CellAt(idx)
+		key, kerr := experiments.CellKey(cfg, wl, cond, v)
+		if kerr != nil {
+			t.Fatal(kerr)
+		}
+		if missing.Keys[idx] != key {
+			t.Errorf("Keys[%d] = %q, want %q", idx, missing.Keys[idx], key)
+		}
+		if !strings.Contains(msg, g.Label(idx)) {
+			t.Errorf("error text omits cell %d's label %q", idx, g.Label(idx))
+		}
+		if !strings.Contains(msg, key) {
+			t.Errorf("error text omits cell %d's cache key %q", idx, key)
+		}
+	}
+	if strings.Contains(msg, "more") && strings.Contains(msg, "…") {
+		t.Errorf("error text appears truncated: %q", msg)
+	}
+}
+
+// TestRunRecordWriteErrorNamesShard: a completion record that cannot land
+// (here: its filename is occupied by a directory, so the atomic rename
+// fails) must name the shard, because by that point every simulation has
+// succeeded and "which shard to re-run" is the only question left.
+func TestRunRecordWriteErrorNamesShard(t *testing.T) {
+	cfg := baseConfig(7)
+	cfg.Workloads = []string{"stg_0"}
+	variants := twoVariants()[:1]
+	p, err := shard.NewPlan(cfg, variants, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	m := p.Shards[1]
+	if err := os.MkdirAll(filepath.Join(dir, m.RecordFilename()), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	_, err = shard.Run(context.Background(), cfg, variants, m, dir)
+	if err == nil {
+		t.Fatal("shard.Run succeeded with the record path unwritable")
+	}
+	want := fmt.Sprintf("shard %d/%d", m.Index, m.Count)
+	if !strings.Contains(err.Error(), want) || !strings.Contains(err.Error(), "completion record") {
+		t.Fatalf("record-write error %q does not name %q", err, want)
 	}
 }

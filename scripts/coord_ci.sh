@@ -1,0 +1,58 @@
+#!/usr/bin/env bash
+# Fault-tolerance end-to-end check for the networked sweep coordinator:
+# a -serve coordinator over a fixed port, two -worker processes sharing
+# one crash-resume cache, one worker SIGKILLed mid-run. The survivor
+# must pick up the dead worker's re-leased shards and the merged CSV the
+# coordinator renders must be byte-identical to a single-process run of
+# the same sweep.
+#
+# Usage: scripts/coord_ci.sh [workdir]
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+WORK="${1:-$(mktemp -d /tmp/coord-ci.XXXXXX)}"
+mkdir -p "$WORK"
+PORT="${COORD_CI_PORT:-9736}"
+ADDR="127.0.0.1:$PORT"
+
+echo "== coord_ci: workdir $WORK, coordinator on $ADDR"
+go build -o "$WORK/repro" ./cmd/repro
+
+cleanup() {
+  kill "$W1_PID" "$W2_PID" "$SERVE_PID" 2>/dev/null || true
+}
+trap cleanup EXIT
+
+echo "== coord_ci: single-process reference sweep"
+"$WORK/repro" -only fig14 -progress=false -csv "$WORK/single" > /dev/null
+
+echo "== coord_ci: starting coordinator"
+"$WORK/repro" -only fig14 -progress=false \
+  -serve "$ADDR" -serve-shards 6 -lease-ttl 3s \
+  -csv "$WORK/merged" > "$WORK/serve.out" 2> "$WORK/serve.err" &
+SERVE_PID=$!
+
+echo "== coord_ci: starting two workers over a shared crash-resume cache"
+"$WORK/repro" -worker "$ADDR" -cache-dir "$WORK/worker-cache" 2> "$WORK/w1.err" &
+W1_PID=$!
+"$WORK/repro" -worker "$ADDR" -cache-dir "$WORK/worker-cache" 2> "$WORK/w2.err" &
+W2_PID=$!
+
+# Let the workers lease and get partway into their shards, then model a
+# machine loss: SIGKILL — no cleanup, no completion record, no goodbye.
+sleep 4
+echo "== coord_ci: SIGKILLing worker 1 (pid $W1_PID) mid-run"
+kill -9 "$W1_PID"
+
+# The coordinator exits once its own sweep completes; the surviving
+# worker must drain everything, including the re-leased shards.
+if ! wait "$SERVE_PID"; then
+  echo "coord_ci: coordinator failed" >&2
+  sed 's/^/  serve: /' "$WORK/serve.err" >&2
+  exit 1
+fi
+wait "$W2_PID" || true
+
+echo "== coord_ci: diffing merged CSV against the single-process reference"
+diff "$WORK/single/fig14.csv" "$WORK/merged/fig14.csv"
+echo "== coord_ci: PASS — byte-identical after mid-run worker kill"
