@@ -354,6 +354,23 @@ func BenchmarkSweepTemperatureGrid(b *testing.B) {
 	b.ReportMetric(float64(len(cfg.Temps)), "temps")
 }
 
+// BenchmarkSweepQLCGrid runs the trimmed grid crossed with the device axis
+// — TLC and QLC presets side by side — so the trajectory tracks both the
+// 2× cell count and the genuinely heavier QLC cells: 16-level wordlines
+// retry far deeper at the same condition, so a QLC cell simulates more
+// retry steps than its TLC twin.
+func BenchmarkSweepQLCGrid(b *testing.B) {
+	cfg := benchSweepConfig()
+	cfg.Parallelism = 0
+	cfg.Devices = []ssd.Device{ssd.DeviceTLC, ssd.DeviceQLC16}
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.RunSweep(context.Background(), cfg, experiments.Figure14Variants()); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(len(cfg.Devices)), "devices")
+}
+
 // BenchmarkSweepSharded runs the trimmed grid as a 4-shard plan — every
 // shard executed back-to-back through the shard subsystem over a shared
 // in-memory cache, then merged — versus BenchmarkSweepParallel's direct

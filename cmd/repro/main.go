@@ -11,6 +11,8 @@
 //	repro -csv out         # stream sweep cells to out/fig14.csv, out/fig15.csv
 //	repro -cache-dir .rrc  # persist per-cell results; re-runs skip known cells
 //	repro -temps 25,55,85  # cross the condition grid with a temperature axis
+//	repro -device qlc16    # run the sweeps on the QLC device preset
+//	repro -device tlc,qlc16  # cross the condition grid with a device axis
 //
 // The Figure 14/15 sweeps can be distributed across processes (even
 // machines sharing a filesystem) through the shard subsystem; every mode
@@ -63,6 +65,7 @@ var (
 	progress = flag.Bool("progress", true, "report sweep progress on stderr")
 	csvDir   = flag.String("csv", "", "directory to stream per-figure sweep CSVs into (fig14.csv, fig15.csv), written row-by-row as cells complete")
 	temps    = flag.String("temps", "", "comma-separated operating temperatures in °C (e.g. 25,55,85) to cross the Figure 14/15 condition grid with; empty keeps the device default")
+	device   = flag.String("device", "", "comma-separated device presets (tlc, qlc16): one preset reconfigures the Figure 14/15 device template in place; several cross the condition grid with a device axis")
 	cacheDir = flag.String("cache-dir", "", "per-cell sweep cache directory: re-runs only simulate cells not already cached; the shared store all shard modes require")
 	cpuProf  = flag.String("cpuprofile", "", "write a CPU profile to this file (pprof format), so perf work can attribute wins")
 	memProf  = flag.String("memprofile", "", "write a heap profile to this file at exit (pprof format)")
@@ -142,6 +145,35 @@ func parseTemps(s string) ([]float64, error) {
 		out = append(out, t)
 	}
 	return out, nil
+}
+
+// parseDevices converts the -device flag into device presets.
+func parseDevices(s string) ([]ssd.Device, error) {
+	if s == "" {
+		return nil, nil
+	}
+	var out []ssd.Device
+	for _, field := range strings.Split(s, ",") {
+		d, err := ssd.ParseDevice(field)
+		if err != nil {
+			return nil, fmt.Errorf("-device: %w", err)
+		}
+		out = append(out, d)
+	}
+	return out, nil
+}
+
+// renderByDevice prints a configuration's reduction per device preset —
+// the summary a multi-device -device sweep exists for.
+func renderByDevice(res *experiments.Result, config, reference string) {
+	fmt.Printf("\n  %s reduction vs %s by device:\n", config, reference)
+	for _, dr := range res.ReductionByDevice(config, reference) {
+		label := "default"
+		if dr.Device != "" {
+			label = dr.Device.String()
+		}
+		fmt.Printf("    %-8s avg %5.1f%%   max %5.1f%%\n", label, dr.Avg*100, dr.Max*100)
+	}
 }
 
 // renderByTemp prints a configuration's reduction per operating
@@ -286,6 +318,9 @@ func spawnShardChildren(n int) error {
 	}
 	if *temps != "" {
 		base = append(base, "-temps", *temps)
+	}
+	if *device != "" {
+		base = append(base, "-device", *device)
 	}
 	cmds := make([]*exec.Cmd, n)
 	for i := range cmds {
@@ -615,6 +650,22 @@ func main() {
 			os.Exit(1)
 		}
 		cfg.Temps = axis
+		devs, err := parseDevices(*device)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "repro: %v\n", err)
+			os.Exit(1)
+		}
+		switch len(devs) {
+		case 0:
+			// Default TLC template.
+		case 1:
+			// A single preset reconfigures the template in place: the grid
+			// stays single-device (no device column) but every cell runs on
+			// the preset — "sweep the paper's grids on a QLC drive".
+			cfg.Base = devs[0].Apply(cfg.Base)
+		default:
+			cfg.Devices = devs
+		}
 		if *cacheDir != "" {
 			// The disk tier makes re-runs incremental; within one
 			// invocation it also lets fig15 reuse fig14's Baseline and
@@ -701,10 +752,11 @@ func renderFig14(res *experiments.Result, cfg experiments.Config, add func(figur
 		fmt.Sprintf("%.1f%% / %.1f%%", arAvg*100, arMax*100))
 	add("Fig 14", "PnAR2 response-time reduction (avg / max)", "28.9% / 51.8%",
 		fmt.Sprintf("%.1f%% / %.1f%%", bothAvg*100, bothMax*100))
-	if !cfg.HasTemperatureAxis() {
-		// The paper quotes the bare (2K, 6mo) point; under -temps
-		// that exact 2-D condition is not in the grid (each cell
-		// carries a temperature), so the comparison is skipped.
+	if !cfg.HasTemperatureAxis() && !cfg.HasDeviceAxis() {
+		// The paper quotes the bare (2K, 6mo) point; under -temps or a
+		// multi-device -device that exact condition is not in the grid
+		// (each cell carries a temperature or device), so the comparison
+		// is skipped.
 		add("Fig 14", "PnAR2 reduction at (2K, 6mo)", "35.2%",
 			fmt.Sprintf("%.1f%%", res.ReductionAt("PnAR2", "Baseline",
 				experiments.Condition{PEC: 2000, Months: 6})*100))
@@ -716,6 +768,10 @@ func renderFig14(res *experiments.Result, cfg experiments.Config, add func(figur
 	if cfg.HasTemperatureAxis() {
 		renderByTemp(res, "PnAR2", "Baseline")
 		renderByTemp(res, "AR2", "Baseline")
+	}
+	if cfg.HasDeviceAxis() {
+		renderByDevice(res, "PnAR2", "Baseline")
+		renderByDevice(res, "AR2", "Baseline")
 	}
 }
 
@@ -735,6 +791,9 @@ func renderFig15(res *experiments.Result, cfg experiments.Config, add func(figur
 		fmt.Sprintf("%.2fx", res.RatioToNoRR("PSO+PnAR2", true)))
 	if cfg.HasTemperatureAxis() {
 		renderByTemp(res, "PSO+PnAR2", "PSO")
+	}
+	if cfg.HasDeviceAxis() {
+		renderByDevice(res, "PSO+PnAR2", "PSO")
 	}
 }
 

@@ -33,6 +33,11 @@ type Lab struct {
 	SampleReads int
 	seed        uint64
 	blockChoice [][]int // per chip: the selected block linear indices
+	// kindSalt keys experiment sampling labels by the fleet's cell
+	// geometry, so a QLC lab draws an independent page population from a
+	// TLC lab at the same seed. It is zero for TLC, keeping every
+	// historical TLC experiment byte-identical.
+	kindSalt uint64
 }
 
 // NewLab builds a lab over the fleet with the paper's 120-blocks-per-chip
@@ -43,6 +48,9 @@ func NewLab(fleet *chip.Fleet, sampleReads int, seed uint64) *Lab {
 		BlocksPerChip: 120,
 		SampleReads:   sampleReads,
 		seed:          seed,
+	}
+	if kind := fleet.Chips[0].Geometry().CellKind(); kind != nand.TLC {
+		l.kindSalt = uint64(kind) * 0x9e3779b97f4a7c15
 	}
 	src := rng.New(seed)
 	for ci, c := range fleet.Chips {
@@ -89,7 +97,7 @@ func (l *Lab) samplePage(src *rng.Source) (*chip.Chip, nand.Address) {
 // reference temperature here and override per read.
 func (l *Lab) forEachSample(pec int, months, tempC float64, label uint64, fn func(*chip.Chip, nand.Address)) {
 	l.fleet.SetCondition(pec, months, tempC)
-	src := rng.New(l.seed).Split(label)
+	src := rng.New(l.seed).Split(label ^ l.kindSalt)
 	for i := 0; i < l.SampleReads; i++ {
 		c, addr := l.samplePage(src)
 		fn(c, addr)

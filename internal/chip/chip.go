@@ -74,6 +74,10 @@ func New(geom nand.Geometry, timing nand.Timing, model *vth.Model, index int) (*
 	if err := geom.Validate(); err != nil {
 		return nil, err
 	}
+	if model.Kind() != geom.CellKind() {
+		return nil, fmt.Errorf("chip: geometry is %v but error model is calibrated for %v",
+			geom.CellKind(), model.Kind())
+	}
 	return &Chip{
 		geom:     geom,
 		timing:   timing,
@@ -208,12 +212,12 @@ func (c *Chip) ResetCount() int { return c.resetCount }
 
 // SenseTime returns tR for a page under the current feature register.
 func (c *Chip) SenseTime(a nand.Address) sim.Time {
-	return c.timing.TR(c.geom.PageType(a.Page), c.features.Reduction())
+	return c.timing.TRKind(c.geom.CellKind(), c.geom.PageType(a.Page), c.features.Reduction())
 }
 
 // DefaultSenseTime returns tR for a page with manufacturer-default timing.
 func (c *Chip) DefaultSenseTime(a nand.Address) sim.Time {
-	return c.timing.TR(c.geom.PageType(a.Page), nand.Reduction{})
+	return c.timing.TRKind(c.geom.CellKind(), c.geom.PageType(a.Page), nand.Reduction{})
 }
 
 // ReadRetry walks the full read-retry ladder for the page under the current

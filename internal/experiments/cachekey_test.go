@@ -8,6 +8,7 @@ import (
 	"testing"
 
 	"readretry/internal/experiments/cellcache"
+	"readretry/internal/ssd"
 )
 
 func mustKey(t *testing.T, cfg Config, wl string, cond Condition, v Variant) string {
@@ -94,6 +95,86 @@ func TestSchemaBumpInvalidatesPreTemperatureEntries(t *testing.T) {
 			for _, v := range Figure14Variants() {
 				if mustKey(t, cfg, wl, cond, v) == v1CellKey(t, cfg, wl, cond, v) {
 					t.Fatalf("v2 key equals v1 key for (%s, %s, %s)", wl, cond, v.Name)
+				}
+			}
+		}
+	}
+}
+
+// TestCellKeyIncludesDevice: two cells that differ only in the condition's
+// device preset must have distinct content addresses, and the "Base
+// device" sentinel must differ from every explicit preset — including
+// "tlc", which is behaviorally identical to the sentinel but names a
+// different grid coordinate.
+func TestCellKeyIncludesDevice(t *testing.T) {
+	cfg := tinySweepConfig(7)
+	v := Figure14Variants()[0]
+	base := Condition{PEC: 2000, Months: 6}
+	seen := map[string]ssd.Device{}
+	for _, dev := range []ssd.Device{"", ssd.DeviceTLC, ssd.DeviceQLC16} {
+		c := base
+		c.Device = dev
+		key := mustKey(t, cfg, "stg_0", c, v)
+		if prev, ok := seen[key]; ok {
+			t.Fatalf("devices %q and %q share cell key %s", prev, dev, key)
+		}
+		seen[key] = dev
+	}
+}
+
+// v2CellKey replicates the pre-device ("readretry-cell-v2") key derivation
+// exactly as PR 4 shipped it: TempC hashed, no Device field, v2 schema tag.
+func v2CellKey(t *testing.T, cfg Config, wl string, cond Condition, v Variant) string {
+	t.Helper()
+	dev, err := json.Marshal(cfg.Base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := sha256.New()
+	fmt.Fprintf(h, "%s\x00%s\x00%d\x00%g\x00%g\x00%d\x00%t\x00%d\x00%d\x00%g\x00",
+		"readretry-cell-v2", wl, cond.PEC, cond.Months, cond.TempC, v.Scheme, v.PSO,
+		cfg.Seed, cfg.Requests, cfg.IOPS)
+	h.Write(dev)
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// TestSchemaBumpInvalidatesPreDeviceEntries poisons a disk cache with
+// entries stored under the v2 (pre-device) keys of every cell in the grid
+// and proves none of them satisfies a v3 lookup: the sweep must simulate
+// every cell from scratch rather than serve a pre-device measurement,
+// exactly as the v1→v2 bump protected the temperature axis.
+func TestSchemaBumpInvalidatesPreDeviceEntries(t *testing.T) {
+	cfg := tinySweepConfig(7)
+	cfg.Parallelism = 4
+	cache, err := cellcache.Disk(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	poison := cellcache.Measurement{Mean: 1, MeanRead: 1, P99Read: 1, RetrySteps: 1}
+	for _, wl := range cfg.Workloads {
+		for _, cond := range cfg.Conditions {
+			for _, v := range Figure14Variants() {
+				cache.Put(v2CellKey(t, cfg, wl, cond, v), poison)
+			}
+		}
+	}
+	cfg.Cache = cache
+	res, sims := runCounting(t, cfg, Figure14Variants())
+	if want := len(res.Cells); sims != want {
+		t.Fatalf("sweep over a v2-poisoned cache simulated %d cells, want %d (v2 entries aliased v3 lookups)", sims, want)
+	}
+	for _, c := range res.Cells {
+		if c.Mean == poison.Mean {
+			t.Fatalf("cell %+v served the poisoned v2 measurement", c)
+		}
+	}
+	// The schema-versioned key itself must differ from its v2 counterpart
+	// for every cell, not just happen to miss.
+	for _, wl := range cfg.Workloads {
+		for _, cond := range cfg.Conditions {
+			for _, v := range Figure14Variants() {
+				if mustKey(t, cfg, wl, cond, v) == v2CellKey(t, cfg, wl, cond, v) {
+					t.Fatalf("v3 key equals v2 key for (%s, %s, %s)", wl, cond, v.Name)
 				}
 			}
 		}

@@ -70,6 +70,7 @@ type Spec struct {
 	Workloads  []string                `json:"workloads,omitempty"`
 	Conditions []experiments.Condition `json:"conditions,omitempty"`
 	Temps      []float64               `json:"temps,omitempty"`
+	Devices    []ssd.Device            `json:"devices,omitempty"`
 	Requests   int                     `json:"requests"`
 	IOPS       float64                 `json:"iops"`
 	Seed       uint64                  `json:"seed"`
@@ -83,6 +84,7 @@ func SpecOf(cfg experiments.Config, variants []experiments.Variant) Spec {
 		Workloads:  cfg.Workloads,
 		Conditions: cfg.Conditions,
 		Temps:      cfg.Temps,
+		Devices:    cfg.Devices,
 		Requests:   cfg.Requests,
 		IOPS:       cfg.IOPS,
 		Seed:       cfg.Seed,
@@ -99,6 +101,7 @@ func (s Spec) Config() experiments.Config {
 		Workloads:  s.Workloads,
 		Conditions: s.Conditions,
 		Temps:      s.Temps,
+		Devices:    s.Devices,
 		Requests:   s.Requests,
 		IOPS:       s.IOPS,
 		Seed:       s.Seed,

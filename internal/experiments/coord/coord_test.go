@@ -20,6 +20,7 @@ import (
 	"readretry/internal/experiments"
 	"readretry/internal/experiments/cellcache"
 	"readretry/internal/experiments/shard"
+	"readretry/internal/ssd"
 )
 
 // countingCache counts real Put calls — each one is a simulation some
@@ -67,6 +68,7 @@ func startServer(t *testing.T, c *Coordinator) *Client {
 func TestSpecRoundTrip(t *testing.T) {
 	cfg := e2eConfig(7)
 	cfg.Temps = []float64{25, 85.5}
+	cfg.Devices = []ssd.Device{ssd.DeviceTLC, ssd.DeviceQLC16}
 	variants := testVariants()
 	want, err := experiments.ConfigHash(cfg, variants)
 	if err != nil {

@@ -22,8 +22,8 @@ import (
 	"readretry/internal/workload"
 )
 
-// Condition is one (PEC, retention, temperature) evaluation point of
-// Figures 14/15. TempC is the operating temperature reads execute at;
+// Condition is one (PEC, retention, temperature, device) evaluation point
+// of Figures 14/15. TempC is the operating temperature reads execute at;
 // the zero value is a sentinel meaning "the device template's default"
 // (Config.Base.TempC), which keeps temperature-less grids — the paper's
 // original 2-D sweep — identical to what they always were. A non-zero
@@ -31,10 +31,18 @@ import (
 // grid into the 3-D PEC × retention × temperature sweep the error model
 // (internal/vth) is calibrated for. To sweep a literal 0 °C point, set
 // Base.TempC instead of the sentinel.
+//
+// Device follows the same sentinel pattern for the cell-geometry axis: the
+// empty string means "whatever device Config.Base describes" (the default
+// TLC template), keeping single-device grids identical to what they always
+// were; a named preset (ssd.DeviceQLC16) re-bases that cell's device config
+// through Device.Apply before the condition is installed, so one grid can
+// sweep TLC against QLC at every (PEC, retention, temperature) point.
 type Condition struct {
 	PEC    int
 	Months float64
 	TempC  float64
+	Device ssd.Device
 }
 
 // MinTempC and MaxTempC bound the explicit operating temperatures a sweep
@@ -47,16 +55,24 @@ const (
 
 // String formats the condition as the figures label it: the PEC in
 // thousands with "K" ("2K/6mo"), with the operating temperature appended
-// when the condition carries one ("2K/6mo/85C"). Every numeric field
-// renders exactly — 500 is "0.5K", 1500 is "1.5K" — and the temperature
-// suffix appears iff TempC is non-zero, so distinct conditions always
-// produce distinct labels (integer division here used to truncate any PEC
-// that was not a multiple of 1000, collapsing e.g. 500 and 999 into "0K").
+// when the condition carries one ("2K/6mo/85C") and the device preset
+// appended when the condition carries one ("2K/6mo/qlc16",
+// "2K/6mo/85C/qlc16"). Every numeric field renders exactly — 500 is
+// "0.5K", 1500 is "1.5K" — and each suffix appears iff its axis is
+// explicit, so distinct conditions always produce distinct labels (integer
+// division here used to truncate any PEC that was not a multiple of 1000,
+// collapsing e.g. 500 and 999 into "0K").
 func (c Condition) String() string {
+	var s string
 	if c.TempC == 0 {
-		return fmt.Sprintf("%gK/%gmo", float64(c.PEC)/1000, c.Months)
+		s = fmt.Sprintf("%gK/%gmo", float64(c.PEC)/1000, c.Months)
+	} else {
+		s = fmt.Sprintf("%gK/%gmo/%gC", float64(c.PEC)/1000, c.Months, c.TempC)
 	}
-	return fmt.Sprintf("%gK/%gmo/%gC", float64(c.PEC)/1000, c.Months, c.TempC)
+	if c.Device != "" {
+		s += "/" + string(c.Device)
+	}
+	return s
 }
 
 // Validate reports whether the condition is physically meaningful: a
@@ -76,6 +92,10 @@ func (c Condition) Validate() error {
 		return fmt.Errorf("experiments: condition %s: temperature %g°C outside [%g, %g]",
 			c, c.TempC, MinTempC, MaxTempC)
 	}
+	if c.Device != "" && !c.Device.Valid() {
+		return fmt.Errorf("experiments: condition %s: unknown device %q (supported: %v)",
+			c, c.Device, ssd.Devices())
+	}
 	return nil
 }
 
@@ -91,6 +111,25 @@ func CrossTemps(conds []Condition, temps []float64) []Condition {
 	for _, c := range conds {
 		for _, t := range temps {
 			c.TempC = t
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// CrossDevices expands a condition grid across a device axis: every
+// condition is repeated once per device preset (condition-major, so all
+// devices of one (PEC, retention, temperature) point are adjacent), with
+// its Device overridden. It is how Config.Devices builds the multi-device
+// grid, composing with CrossTemps (devices innermost).
+func CrossDevices(conds []Condition, devices []ssd.Device) []Condition {
+	if len(devices) == 0 {
+		return conds
+	}
+	out := make([]Condition, 0, len(conds)*len(devices))
+	for _, c := range conds {
+		for _, d := range devices {
+			c.Device = d
 			out = append(out, c)
 		}
 	}
@@ -116,6 +155,15 @@ type Config struct {
 	// condition pinning its own TempC alongside Temps is rejected as
 	// ambiguous). Empty preserves the 2-D grid exactly.
 	Temps []float64
+	// Devices, when non-empty, crosses the condition grid with a device
+	// axis: every condition runs once per listed preset (CrossDevices,
+	// innermost — after Temps), so one sweep compares cell technologies at
+	// every operating point. Presets must be named (the empty string is
+	// the "Base device" sentinel — change Base itself instead) and valid,
+	// and the conditions themselves must then be device-less, mirroring
+	// the Temps axis rules. Empty preserves the single-device grid
+	// exactly.
+	Devices []ssd.Device
 	// Requests per run and the workload arrival rate.
 	Requests int
 	IOPS     float64
@@ -172,13 +220,14 @@ func QuickConfig() Config {
 }
 
 // conditions resolves the sweep's effective condition grid: the configured
-// (or default) conditions, expanded across the Temps axis when one is set.
+// (or default) conditions, expanded across the Temps axis and then the
+// Devices axis when set.
 func (cfg Config) conditions() []Condition {
 	conds := cfg.Conditions
 	if conds == nil {
 		conds = DefaultConfig().Conditions
 	}
-	return CrossTemps(conds, cfg.Temps)
+	return CrossDevices(CrossTemps(conds, cfg.Temps), cfg.Devices)
 }
 
 // HasTemperatureAxis reports whether any cell of the sweep's effective
@@ -187,6 +236,19 @@ func (cfg Config) conditions() []Condition {
 func (cfg Config) HasTemperatureAxis() bool {
 	for _, c := range cfg.conditions() {
 		if c.TempC != 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// HasDeviceAxis reports whether any cell of the sweep's effective grid
+// carries an explicit device preset — i.e. whether outputs need the device
+// column (see NewCSVSinkFor). Single-device grids (everything before the
+// device axis existed) report false and keep their historical schema.
+func (cfg Config) HasDeviceAxis() bool {
+	for _, c := range cfg.conditions() {
+		if c.Device != "" {
 			return true
 		}
 	}
@@ -236,6 +298,13 @@ func runOne(cfg Config, recs []trace.Record, cond Condition, scheme core.Scheme,
 		cfg.simHook()
 	}
 	devCfg := cfg.Base
+	if cond.Device != "" {
+		// Re-base the cell on the named preset before installing the
+		// condition: Apply changes only the cell-level fields (geometry
+		// bits, error-model calibration, ECC strength), so the sweep's
+		// scale, timing, and scheme knobs still come from Base.
+		devCfg = cond.Device.Apply(devCfg)
+	}
 	devCfg.Scheme = scheme
 	devCfg.UsePSO = usePSO
 	devCfg.PEC = cond.PEC
@@ -418,6 +487,47 @@ func (r *Result) ReductionByTemp(config, reference string) []TempReduction {
 	return out
 }
 
+// DeviceReduction is one row of ReductionByDevice: config's response-time
+// reduction over the reference across every cell measured on one device
+// preset. An empty Device groups the cells that ran on the Base template
+// (a single-device grid has exactly one such row).
+type DeviceReduction struct {
+	Device ssd.Device
+	Avg    float64
+	Max    float64
+}
+
+// ReductionByDevice returns the response-time reduction of config vs the
+// reference grouped by the condition grid's device axis, in preset name
+// order — the summary a TLC-vs-QLC sweep exists to produce: how much more
+// (or less) a retry-optimization scheme is worth on a device whose margins
+// are thinner and whose drift is steeper.
+func (r *Result) ReductionByDevice(config, reference string) []DeviceReduction {
+	ref := r.meansBy(reference)
+	byDev := map[ssd.Device]*mathx.Running{}
+	var devs []string
+	for _, c := range r.cells(config) {
+		base, ok := ref[condKey{c.Workload, c.Cond}]
+		if !ok || base == 0 {
+			continue
+		}
+		s := byDev[c.Cond.Device]
+		if s == nil {
+			s = &mathx.Running{}
+			byDev[c.Cond.Device] = s
+			devs = append(devs, string(c.Cond.Device))
+		}
+		s.Add(1 - c.Mean/base)
+	}
+	sort.Strings(devs)
+	out := make([]DeviceReduction, 0, len(devs))
+	for _, d := range devs {
+		dev := ssd.Device(d)
+		out = append(out, DeviceReduction{Device: dev, Avg: byDev[dev].Mean(), Max: byDev[dev].Max()})
+	}
+	return out
+}
+
 // Render writes the sweep as an aligned text table: one row per
 // (workload, condition), one column per configuration, normalized values.
 func (r *Result) Render(w io.Writer) {
@@ -445,7 +555,10 @@ func (r *Result) Render(w io.Writer) {
 		if keys[i].cond.Months != keys[j].cond.Months {
 			return keys[i].cond.Months < keys[j].cond.Months
 		}
-		return keys[i].cond.TempC < keys[j].cond.TempC
+		if keys[i].cond.TempC != keys[j].cond.TempC {
+			return keys[i].cond.TempC < keys[j].cond.TempC
+		}
+		return keys[i].cond.Device < keys[j].cond.Device
 	})
 	// The condition column widens only when a label needs it (temperature
 	// suffixes), so temperature-less tables render exactly as before.
@@ -482,27 +595,26 @@ func workloadOrder(name string) int {
 // WriteCSV emits the raw cells as CSV (one measurement per row) for
 // external plotting: workload, pec, months, config, mean_us, mean_read_us,
 // p99_read_us, normalized, retry_steps — with a temp_c column after months
-// iff any cell carries an explicit operating temperature, so
-// temperature-less grids keep their historical byte-exact schema. It
-// shares its header and row formatting with the streaming CSVSink, whose
-// output is byte-identical for the same grid.
+// iff any cell carries an explicit operating temperature, and a device
+// column after that iff any cell carries an explicit device preset, so
+// single-device temperature-less grids keep their historical byte-exact
+// schema. It shares its header and row formatting with the streaming
+// CSVSink, whose output is byte-identical for the same grid.
 func (r *Result) WriteCSV(w io.Writer) error {
-	withTemp := false
+	withTemp, withDevice := false, false
 	for _, c := range r.Cells {
 		if c.Cond.TempC != 0 {
 			withTemp = true
-			break
+		}
+		if c.Cond.Device != "" {
+			withDevice = true
 		}
 	}
-	header := csvHeader
-	if withTemp {
-		header = csvHeaderTemp
-	}
-	if _, err := fmt.Fprintln(w, header); err != nil {
+	if _, err := fmt.Fprintln(w, csvHeaderFor(withTemp, withDevice)); err != nil {
 		return err
 	}
 	for _, c := range r.Cells {
-		if err := writeCSVRow(w, c, withTemp); err != nil {
+		if err := writeCSVRow(w, c, withTemp, withDevice); err != nil {
 			return err
 		}
 	}

@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 
+	"readretry/internal/ssd"
 	"readretry/internal/workload"
 )
 
@@ -60,6 +61,23 @@ func NewGrid(cfg Config, variants []Variant) (*Grid, error) {
 		for _, c := range cfg.Conditions {
 			if c.TempC != 0 {
 				return nil, fmt.Errorf("experiments: condition %s pins a temperature while Temps is set; use one axis or the other", c)
+			}
+		}
+	}
+	for _, d := range cfg.Devices {
+		if d == "" {
+			return nil, errors.New("experiments: Devices must not contain \"\" (the \"Base device\" sentinel); name the preset explicitly (e.g. ssd.DeviceTLC)")
+		}
+		if !d.Valid() {
+			return nil, fmt.Errorf("experiments: Devices contains unknown device %q (supported: %v)", d, ssd.Devices())
+		}
+	}
+	if len(cfg.Devices) > 0 {
+		// Same ambiguity as the temperature axis: crossing overwrites each
+		// condition's Device.
+		for _, c := range cfg.Conditions {
+			if c.Device != "" {
+				return nil, fmt.Errorf("experiments: condition %s pins a device while Devices is set; use one axis or the other", c)
 			}
 		}
 	}

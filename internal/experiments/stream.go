@@ -28,24 +28,54 @@ type CellSinkFunc func(c Cell, index, total int) error
 // Cell implements CellSink.
 func (f CellSinkFunc) Cell(c Cell, index, total int) error { return f(c, index, total) }
 
-// csvHeader is the header row of a temperature-less grid; csvHeaderTemp is
-// the 3-D schema with the temp_c axis column. Both CSV paths (streaming
-// and buffered) pick the same one for the same grid.
+// csvHeader is the header row of a temperature-less single-device grid;
+// csvHeaderTemp adds the temp_c axis column after months, and
+// csvHeaderFor composes the device axis column in after it (or directly
+// after months on a temperature-less grid). Both CSV paths (streaming and
+// buffered) pick the same schema for the same grid.
 const (
 	csvHeader     = "workload,pec,months,config,mean_us,mean_read_us,p99_read_us,normalized,retry_steps"
 	csvHeaderTemp = "workload,pec,months,temp_c,config,mean_us,mean_read_us,p99_read_us,normalized,retry_steps"
+
+	csvHeaderDevice     = "workload,pec,months,device,config,mean_us,mean_read_us,p99_read_us,normalized,retry_steps"
+	csvHeaderTempDevice = "workload,pec,months,temp_c,device,config,mean_us,mean_read_us,p99_read_us,normalized,retry_steps"
 )
+
+// csvHeaderFor selects the header row for a grid's axis shape.
+func csvHeaderFor(withTemp, withDevice bool) string {
+	switch {
+	case withTemp && withDevice:
+		return csvHeaderTempDevice
+	case withTemp:
+		return csvHeaderTemp
+	case withDevice:
+		return csvHeaderDevice
+	default:
+		return csvHeader
+	}
+}
 
 // writeCSVRow formats one cell exactly as Result.WriteCSV does; the
 // streaming and buffered encoders share it so their output is
-// byte-identical. withTemp selects the 3-D schema (temp_c after months).
-func writeCSVRow(w io.Writer, c Cell, withTemp bool) error {
+// byte-identical. withTemp selects the temp_c column (after months);
+// withDevice selects the device column (after temp_c, or after months on
+// a temperature-less grid).
+func writeCSVRow(w io.Writer, c Cell, withTemp, withDevice bool) error {
 	var err error
-	if withTemp {
+	switch {
+	case withTemp && withDevice:
+		_, err = fmt.Fprintf(w, "%s,%d,%g,%g,%s,%s,%.2f,%.2f,%.2f,%.4f,%.2f\n",
+			c.Workload, c.Cond.PEC, c.Cond.Months, c.Cond.TempC, c.Cond.Device, c.Config,
+			c.Mean, c.MeanRead, c.P99Read, c.Normalized, c.RetrySteps)
+	case withTemp:
 		_, err = fmt.Fprintf(w, "%s,%d,%g,%g,%s,%.2f,%.2f,%.2f,%.4f,%.2f\n",
 			c.Workload, c.Cond.PEC, c.Cond.Months, c.Cond.TempC, c.Config,
 			c.Mean, c.MeanRead, c.P99Read, c.Normalized, c.RetrySteps)
-	} else {
+	case withDevice:
+		_, err = fmt.Fprintf(w, "%s,%d,%g,%s,%s,%.2f,%.2f,%.2f,%.4f,%.2f\n",
+			c.Workload, c.Cond.PEC, c.Cond.Months, c.Cond.Device, c.Config,
+			c.Mean, c.MeanRead, c.P99Read, c.Normalized, c.RetrySteps)
+	default:
 		_, err = fmt.Fprintf(w, "%s,%d,%g,%s,%.2f,%.2f,%.2f,%.4f,%.2f\n",
 			c.Workload, c.Cond.PEC, c.Cond.Months, c.Config,
 			c.Mean, c.MeanRead, c.P99Read, c.Normalized, c.RetrySteps)
@@ -58,45 +88,49 @@ func writeCSVRow(w io.Writer, c Cell, withTemp bool) error {
 // output is byte-identical to Result.WriteCSV at every parallelism
 // setting.
 type CSVSink struct {
-	w    io.Writer
-	temp bool
+	w      io.Writer
+	temp   bool
+	device bool
 }
 
-// NewCSVSink writes the temperature-less CSV header to w and returns a
-// sink that appends one row per cell. For a grid that sweeps temperature,
-// use NewCSVSinkFor, which picks the schema the buffered WriteCSV would.
+// NewCSVSink writes the temperature-less single-device CSV header to w and
+// returns a sink that appends one row per cell. For a grid that sweeps
+// temperature or device, use NewCSVSinkFor, which picks the schema the
+// buffered WriteCSV would.
 func NewCSVSink(w io.Writer) (*CSVSink, error) {
-	return newCSVSink(w, false)
+	return newCSVSink(w, false, false)
 }
 
 // NewCSVSinkFor is NewCSVSink with the schema chosen from the sweep
 // configuration: grids whose conditions carry explicit temperatures get
-// the temp_c column (matching what Result.WriteCSV emits for the same
-// grid), and temperature-less grids keep the historical schema.
+// the temp_c column, grids whose conditions carry explicit device presets
+// get the device column (matching what Result.WriteCSV emits for the same
+// grid), and temperature-less single-device grids keep the historical
+// schema.
 func NewCSVSinkFor(cfg Config, w io.Writer) (*CSVSink, error) {
-	return newCSVSink(w, cfg.HasTemperatureAxis())
+	return newCSVSink(w, cfg.HasTemperatureAxis(), cfg.HasDeviceAxis())
 }
 
-func newCSVSink(w io.Writer, withTemp bool) (*CSVSink, error) {
-	header := csvHeader
-	if withTemp {
-		header = csvHeaderTemp
-	}
-	if _, err := fmt.Fprintln(w, header); err != nil {
+func newCSVSink(w io.Writer, withTemp, withDevice bool) (*CSVSink, error) {
+	if _, err := fmt.Fprintln(w, csvHeaderFor(withTemp, withDevice)); err != nil {
 		return nil, err
 	}
-	return &CSVSink{w: w, temp: withTemp}, nil
+	return &CSVSink{w: w, temp: withTemp, device: withDevice}, nil
 }
 
-// Cell implements CellSink. A temperature-carrying cell arriving at a
-// temperature-less sink is a configuration error — silently dropping the
-// temp_c column would make the grid's rows ambiguous and break the
-// byte-identity contract with Result.WriteCSV — so it aborts the sweep.
+// Cell implements CellSink. A temperature- or device-carrying cell
+// arriving at a sink without that column is a configuration error —
+// silently dropping the axis column would make the grid's rows ambiguous
+// and break the byte-identity contract with Result.WriteCSV — so it
+// aborts the sweep.
 func (s *CSVSink) Cell(c Cell, index, total int) error {
 	if c.Cond.TempC != 0 && !s.temp {
 		return fmt.Errorf("cell %s carries a temperature but the sink has the 2-D schema; construct it with NewCSVSinkFor", c.Cond)
 	}
-	return writeCSVRow(s.w, c, s.temp)
+	if c.Cond.Device != "" && !s.device {
+		return fmt.Errorf("cell %s carries a device but the sink has no device column; construct it with NewCSVSinkFor", c.Cond)
+	}
+	return writeCSVRow(s.w, c, s.temp, s.device)
 }
 
 // resequencer restores canonical order between the worker pool and the

@@ -44,27 +44,16 @@ func (pt PageType) String() string {
 }
 
 // NSense returns the number of sensing operations needed to read a page of
-// this type: ⟨2, 3, 2⟩ for ⟨LSB, CSB, MSB⟩ in TLC NAND.
-func (pt PageType) NSense() int {
-	if pt == CSB {
-		return 3
-	}
-	return 2
-}
+// this type: ⟨2, 3, 2⟩ for ⟨LSB, CSB, MSB⟩ in TLC NAND. Non-TLC devices go
+// through CellKind.NSense instead.
+func (pt PageType) NSense() int { return TLC.NSense(pt) }
 
 // ReadLevels returns the TLC read-voltage indices (0-based, V0..V6 between
 // the 8 V_TH states) sensed when reading a page of this type under the
 // standard Gray coding: LSB → {V0, V4}, CSB → {V1, V3, V5}, MSB → {V2, V6}.
-func (pt PageType) ReadLevels() []int {
-	switch pt {
-	case LSB:
-		return []int{0, 4}
-	case CSB:
-		return []int{1, 3, 5}
-	default:
-		return []int{2, 6}
-	}
-}
+// The returned slice is shared and immutable; callers must not mutate it.
+// Non-TLC devices go through CellKind.ReadLevels instead.
+func (pt PageType) ReadLevels() []int { return TLC.ReadLevels(pt) }
 
 // Geometry describes the physical organization of one NAND flash chip
 // (Figure 1): dies that operate independently, planes sharing a row decoder,
@@ -92,13 +81,17 @@ func DefaultGeometry() Geometry {
 	}
 }
 
-// Validate reports whether every field is positive and the page count is a
-// multiple of the cell bits (each wordline stores CellBits pages).
+// Validate reports whether every field is positive, CellBits names a
+// supported cell kind, and the page count is a multiple of the cell bits
+// (each wordline stores CellBits pages).
 func (g Geometry) Validate() error {
 	switch {
 	case g.Dies < 1, g.PlanesPerDie < 1, g.BlocksPerPlane < 1,
 		g.PagesPerBlock < 1, g.PageSize < 1, g.CellBits < 1:
 		return fmt.Errorf("nand: non-positive geometry field: %+v", g)
+	case !CellKind(g.CellBits).Valid():
+		return fmt.Errorf("nand: unsupported CellBits %d (supported: %d..%d bits per cell)",
+			g.CellBits, int(SLC), int(QLC))
 	case g.PagesPerBlock%g.CellBits != 0:
 		return fmt.Errorf("nand: PagesPerBlock (%d) not a multiple of CellBits (%d)",
 			g.PagesPerBlock, g.CellBits)
@@ -123,9 +116,9 @@ func (g Geometry) CapacityBytes() int64 {
 	return int64(g.TotalPages()) * int64(g.PageSize)
 }
 
-// PageType maps a page index within its block to the TLC page type. Pages
-// are striped across wordlines in LSB, CSB, MSB order (page p lives on
-// wordline p/3).
+// PageType maps a page index within its block to its page kind. Pages are
+// striped across wordlines in page-kind order — LSB, CSB, MSB for TLC —
+// so page p lives on wordline p/CellBits as page kind p%CellBits.
 func (g Geometry) PageType(pageInBlock int) PageType {
 	return PageType(pageInBlock % g.CellBits)
 }

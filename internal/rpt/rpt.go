@@ -93,7 +93,7 @@ type Table struct {
 // quantity Figure 11 plots (as a reduction percentage) per condition.
 func SafeLevel(m *vth.Model, cond vth.Condition, marginBits, maxLevel int) int {
 	budget := m.Capability() - marginBits
-	floor := m.MaxFloorErrors(cond, nand.CSB)
+	floor := m.MaxFloorErrors(cond, m.Kind().WorstPage())
 	level := 0
 	for l := 1; l <= maxLevel; l++ {
 		r := nand.Reduction{Pre: nand.LevelFraction(l)}

@@ -1,0 +1,229 @@
+package vth
+
+import (
+	"math"
+	"testing"
+
+	"readretry/internal/mathx"
+	"readretry/internal/nand"
+)
+
+// legacyTLC reimplements the pre-abstraction TLC-only arithmetic — drift
+// without the spacing ratio, floors against FreshSeparation directly, and
+// the error wall with its historical literal "/ 3" — so the refactor's
+// bit-identity guards are pinned by an independent oracle rather than by
+// the refactored code itself.
+type legacyTLC struct{ p Params }
+
+func (l legacyTLC) drift(c Condition) float64 {
+	k := c.kiloPEC()
+	t := c.RetentionMonths
+	if t < 0 {
+		t = 0
+	}
+	drift := l.p.WearStepsPerKPEC * k
+	if t > 0 {
+		drift += (l.p.RetStepsBase + l.p.RetStepsPerKPEC*math.Pow(k, l.p.RetWearExp)) *
+			math.Pow(t/3, l.p.RetTimeExp)
+	}
+	return drift
+}
+
+func (l legacyTLC) widen(c Condition) float64 {
+	k := c.kiloPEC()
+	t := c.RetentionMonths
+	if t < 0 {
+		t = 0
+	}
+	w := 1 + l.p.WidenPerKPEC*k
+	if t > 0 {
+		w += l.p.WidenRetention * math.Pow(t/3, l.p.WidenRetExp)
+	}
+	return w
+}
+
+func (l legacyTLC) tempAdd(c Condition) int {
+	f := tempFrac(c.TempC)
+	if f == 0 {
+		return 0
+	}
+	driftSat := mathx.Clamp(l.drift(c)/20, 0, 1)
+	return int(math.Round(f * (l.p.TempAddBase + l.p.TempAddDrift*driftSat)))
+}
+
+func (l legacyTLC) maxFloorErrors(c Condition, pt nand.PageType) int {
+	overlap := mathx.Q(l.p.FreshSeparation / l.widen(c))
+	raw := l.p.CellsPerKiBPerLevel * float64(pt.NSense()) * 2 * overlap
+	return int(math.Round(raw)) + l.tempAdd(c)
+}
+
+func (l legacyTLC) wallErrors(residMV float64, pt nand.PageType) int {
+	if residMV <= 0 {
+		return 0
+	}
+	raw := l.p.WallCoef * math.Pow(residMV, l.p.WallExp) * float64(pt.NSense()) / 3
+	if raw > float64(l.p.WallCap) {
+		raw = float64(l.p.WallCap)
+	}
+	return int(math.Round(raw))
+}
+
+// TestTLCBitIdenticalToLegacyModel proves the device-geometry abstraction —
+// the spacing ratio, effective separation, and the named wall divisor — did
+// not perturb a single TLC arithmetic step.
+func TestTLCBitIdenticalToLegacyModel(t *testing.T) {
+	m := defaultModel()
+	l := legacyTLC{p: DefaultParams()}
+	conds := []Condition{
+		{PEC: 0, RetentionMonths: 0, TempC: 85},
+		{PEC: 1000, RetentionMonths: 3, TempC: 85},
+		{PEC: 2000, RetentionMonths: 12, TempC: 85},
+		{PEC: 2000, RetentionMonths: 12, TempC: 30},
+		{PEC: 1500, RetentionMonths: 6, TempC: 55},
+	}
+	for _, c := range conds {
+		if got, want := m.Drift(c), l.drift(c); got != want {
+			t.Errorf("Drift(%v) = %v, legacy %v", c, got, want)
+		}
+		for _, pt := range []nand.PageType{nand.LSB, nand.CSB, nand.MSB} {
+			if got, want := m.MaxFloorErrors(c, pt), l.maxFloorErrors(c, pt); got != want {
+				t.Errorf("MaxFloorErrors(%v, %v) = %d, legacy %d", c, pt, got, want)
+			}
+			for _, resid := range []float64{0, 12.5, 30, 60, 117, 2400} {
+				if got, want := m.WallErrors(resid, pt), l.wallErrors(resid, pt); got != want {
+					t.Errorf("WallErrors(%v, %v) = %d, legacy %d", resid, pt, got, want)
+				}
+			}
+		}
+	}
+	// The worst-page anchor survives: RetrySteps still reads CSB.
+	if nand.TLC.WorstPage() != nand.CSB {
+		t.Error("TLC worst page must remain CSB")
+	}
+}
+
+func TestParamsKindCompat(t *testing.T) {
+	// Zero CellBits means TLC for configs predating the abstraction.
+	p := DefaultParams()
+	p.CellBits = 0
+	if err := p.Validate(); err != nil {
+		t.Fatalf("zero CellBits should validate: %v", err)
+	}
+	if NewModel(p, 1).Kind() != nand.TLC {
+		t.Error("zero CellBits should mean TLC")
+	}
+	if defaultModel().Kind() != nand.TLC {
+		t.Error("default params should be TLC")
+	}
+	p.CellBits = 5
+	if p.Validate() == nil {
+		t.Error("CellBits=5 should be rejected")
+	}
+}
+
+func TestQLCParamsScaleGeometry(t *testing.T) {
+	qp := QLC16Params()
+	if err := qp.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	q := NewModel(qp, 1)
+	if q.Kind() != nand.QLC {
+		t.Fatalf("Kind = %v, want QLC", q.Kind())
+	}
+	// Drift steepens by exactly the spacing ratio 15/7 relative to the same
+	// drift constants evaluated TLC-style.
+	l := legacyTLC{p: qp}
+	ratio := 15.0 / 7.0
+	for _, c := range []Condition{cond(1000, 3), cond(2000, 12)} {
+		want := l.drift(c) * ratio
+		if got := q.Drift(c); math.Abs(got-want) > 1e-12*want {
+			t.Errorf("QLC Drift(%v) = %v, want %v (×15/7)", c, got, want)
+		}
+	}
+	// QLC drifts harder than TLC at every shared condition.
+	tlc := defaultModel()
+	for _, c := range []Condition{cond(1000, 3), cond(2000, 12)} {
+		if q.Drift(c) <= tlc.Drift(c) {
+			t.Errorf("QLC drift should exceed TLC at %v", c)
+		}
+	}
+}
+
+func TestQLCReadableAcrossDefaultGrid(t *testing.T) {
+	// The QLC16 preset must survive the default experiment grid: at the
+	// worst condition (2K P/E, 12 months, 30 °C) every page reads within
+	// the 80-entry ladder and under the LDPC-class capability.
+	q := NewModel(QLC16Params(), 1)
+	worst := Condition{PEC: 2000, RetentionMonths: 12, TempC: 30}
+	for pt := nand.PageType(0); int(pt) < nand.QLC.PageKinds(); pt++ {
+		if mf := q.MaxFloorErrors(worst, pt); mf > q.Capability() {
+			t.Fatalf("QLC floor %d exceeds capability %d for page %v", mf, q.Capability(), pt)
+		}
+	}
+	maxSteps := 0
+	for _, pg := range samplePages(200) {
+		for pt := nand.PageType(0); int(pt) < nand.QLC.PageKinds(); pt++ {
+			res := q.Read(pg, worst, pt, nand.Reduction{})
+			if res.Failed {
+				t.Fatalf("QLC read failed at worst condition: page %v kind %v", pg, pt)
+			}
+			if res.RetrySteps > maxSteps {
+				maxSteps = res.RetrySteps
+			}
+		}
+	}
+	// The steeper drift must actually exercise the extended ladder: more
+	// steps than TLC's 40-entry table could ever report.
+	if maxSteps <= DefaultParams().MaxLadderSteps {
+		t.Errorf("QLC worst-case retry steps = %d, want > %d", maxSteps, DefaultParams().MaxLadderSteps)
+	}
+}
+
+func TestQLCProfileMatchesModel(t *testing.T) {
+	// The condition-resident fast path must stay bit-identical to the slow
+	// path for non-TLC kinds too.
+	q := NewModel(QLC16Params(), 3)
+	conds := []Condition{
+		{PEC: 0, RetentionMonths: 0, TempC: 85},
+		{PEC: 2000, RetentionMonths: 12, TempC: 30},
+	}
+	reds := []nand.Reduction{{}, {Pre: 0.2}}
+	for _, c := range conds {
+		for _, r := range reds {
+			prof := q.Profile(c, r)
+			for _, pg := range samplePages(50) {
+				for pt := nand.PageType(0); int(pt) < nand.QLC.PageKinds(); pt++ {
+					slow := q.Read(pg, c, pt, r)
+					fast := prof.Read(pg, pt)
+					if slow != fast {
+						t.Fatalf("profile diverges at %v/%v/%v: slow %+v fast %+v", c, pg, pt, slow, fast)
+					}
+					for _, step := range []int{0, 3, 40, 80} {
+						if s, f := q.StepErrors(pg, c, pt, step, r), prof.StepErrors(pg, pt, step); s != f {
+							t.Fatalf("StepErrors diverges at step %d: %d vs %d", step, s, f)
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestSLCAndMLCModelsWork(t *testing.T) {
+	// The abstraction is not QLC-specific: fewer-level kinds shrink drift
+	// (spacing ratio < 1) and read with fewer retry steps than TLC.
+	tlc := defaultModel()
+	c := cond(2000, 12)
+	for _, bits := range []int{1, 2} {
+		p := DefaultParams()
+		p.CellBits = bits
+		m := NewModel(p, 1)
+		if m.Drift(c) >= tlc.Drift(c) {
+			t.Errorf("CellBits=%d drift %v should be below TLC's %v", bits, m.Drift(c), tlc.Drift(c))
+		}
+		pg := PageID{Chip: 1, Block: 2, Page: 3}
+		if m.RetrySteps(pg, c) > tlc.RetrySteps(pg, c) {
+			t.Errorf("CellBits=%d retry steps exceed TLC's", bits)
+		}
+	}
+}

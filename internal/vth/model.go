@@ -28,6 +28,23 @@ type Model struct {
 	// pageRand can derive per-page variates without reconstructing it (and
 	// without heap-allocating generator chains) on every read.
 	root rng.State
+
+	// kind is the cell technology the parameters describe (TLC when
+	// Params.CellBits is zero).
+	kind nand.CellKind
+	// spacingRatio is the kind's read-offset count over TLC's 7 — the
+	// level-spacing scale that steepens drift and shrinks separation for
+	// devices with more states in the same voltage window. Exactly 1 for
+	// TLC, so the TLC arithmetic below is untouched bit for bit.
+	spacingRatio float64
+	// effSep is the effective fresh H/σ after the spacing shrink — equal
+	// to Params.FreshSeparation itself for TLC.
+	effSep float64
+	// wallRefLevels names the historical magic "/ 3" in the error wall: the
+	// wall calibration (Figure 4b) tracks the kind's worst page, so the
+	// per-page level count is normalized by the kind's maximum sensing
+	// count — CSB's 3 for TLC.
+	wallRefLevels float64
 }
 
 // NewModel builds a model over the given parameters. The seed selects the
@@ -38,11 +55,28 @@ func NewModel(p Params, seed uint64) *Model {
 	if err := p.Validate(); err != nil {
 		panic(err)
 	}
-	return &Model{p: p, seed: seed, root: rng.SeedState(seed)}
+	kind := p.kind()
+	ratio := float64(kind.ReadOffsets()) / float64(nand.TLC.ReadOffsets())
+	effSep := p.FreshSeparation
+	if ratio != 1 {
+		effSep /= ratio
+	}
+	return &Model{
+		p:             p,
+		seed:          seed,
+		root:          rng.SeedState(seed),
+		kind:          kind,
+		spacingRatio:  ratio,
+		effSep:        effSep,
+		wallRefLevels: float64(kind.MaxNSense()),
+	}
 }
 
 // Params returns the model's parameters.
 func (m *Model) Params() Params { return m.p }
+
+// Kind returns the cell technology the model describes.
+func (m *Model) Kind() nand.CellKind { return m.kind }
 
 // Capability returns the ECC capability the retry loop tests against.
 func (m *Model) Capability() int { return m.p.CapabilityPerKiB }
@@ -83,6 +117,13 @@ func (m *Model) Drift(c Condition) float64 {
 	if t > 0 {
 		drift += (m.p.RetStepsBase + m.p.RetStepsPerKPEC*math.Pow(k, m.p.RetWearExp)) *
 			math.Pow(t/3, m.p.RetTimeExp)
+	}
+	// Tighter level spacing turns the same physical V_TH shift into more
+	// read offsets: the drift polynomials are calibrated on TLC's 7-offset
+	// window, so non-TLC kinds steepen by the spacing ratio. Guarded so the
+	// TLC computation stays byte-identical to the pre-abstraction model.
+	if m.spacingRatio != 1 {
+		drift *= m.spacingRatio
 	}
 	return drift
 }
@@ -158,18 +199,18 @@ func (m *Model) TempAdd(c Condition) int {
 	return int(math.Round(f * (m.p.TempAddBase + m.p.TempAddDrift*driftSat)))
 }
 
-// levelsOf returns how many read levels a page type senses (CSB pages see
-// three state boundaries, LSB/MSB two), which scales every per-codeword
-// error count.
-func levelsOf(pt nand.PageType) float64 { return float64(pt.NSense()) }
+// levels returns how many read levels a page of the given kind senses under
+// the model's cell technology (TLC: CSB pages see three state boundaries,
+// LSB/MSB two), which scales every per-codeword error count.
+func (m *Model) levels(pt nand.PageType) float64 { return float64(m.kind.NSense(pt)) }
 
 // MaxFloorErrors returns M_ERR: the worst-page error count per 1-KiB
 // codeword in the final retry step (reading at near-optimal V_REF) under the
 // condition, for the given page type — the quantity Figure 7 plots (CSB is
 // the worst page type and is what the figure's envelope tracks).
 func (m *Model) MaxFloorErrors(c Condition, pt nand.PageType) int {
-	overlap := mathx.Q(m.p.FreshSeparation / m.widen(c))
-	raw := m.p.CellsPerKiBPerLevel * levelsOf(pt) * 2 * overlap
+	overlap := mathx.Q(m.effSep / m.widen(c))
+	raw := m.p.CellsPerKiBPerLevel * m.levels(pt) * 2 * overlap
 	return int(math.Round(raw)) + m.TempAdd(c)
 }
 
@@ -178,8 +219,8 @@ func (m *Model) MaxFloorErrors(c Condition, pt nand.PageType) int {
 func (m *Model) FloorErrors(pg PageID, c Condition, pt nand.PageType) int {
 	_, _, _, sevU := m.pageRand(pg)
 	sev := m.p.SeverityFloor + (1-m.p.SeverityFloor)*sevU
-	overlap := mathx.Q(m.p.FreshSeparation / m.widen(c))
-	raw := m.p.CellsPerKiBPerLevel * levelsOf(pt) * 2 * overlap * sev
+	overlap := mathx.Q(m.effSep / m.widen(c))
+	raw := m.p.CellsPerKiBPerLevel * m.levels(pt) * 2 * overlap * sev
 	return int(math.Round(raw)) + m.TempAdd(c)
 }
 
@@ -250,7 +291,10 @@ func (m *Model) WallErrors(residMV float64, pt nand.PageType) int {
 	if residMV <= 0 {
 		return 0
 	}
-	raw := m.p.WallCoef * math.Pow(residMV, m.p.WallExp) * levelsOf(pt) / 3
+	// The wall calibration tracks the kind's worst page, so a page's level
+	// count is normalized by wallRefLevels (CSB's 3 sensings for TLC — the
+	// historical literal 3 in this expression).
+	raw := m.p.WallCoef * math.Pow(residMV, m.p.WallExp) * m.levels(pt) / m.wallRefLevels
 	if raw > float64(m.p.WallCap) {
 		raw = float64(m.p.WallCap)
 	}
@@ -319,8 +363,8 @@ func (m *Model) Read(pg PageID, c Condition, pt nand.PageType, r nand.Reduction)
 	}
 }
 
-// RetrySteps is a convenience wrapper returning only N_RR for a read with
-// default timing.
+// RetrySteps is a convenience wrapper returning only N_RR for a read of the
+// kind's worst page (CSB for TLC) with default timing.
 func (m *Model) RetrySteps(pg PageID, c Condition) int {
-	return m.Read(pg, c, nand.CSB, nand.Reduction{}).RetrySteps
+	return m.Read(pg, c, m.kind.WorstPage(), nand.Reduction{}).RetrySteps
 }

@@ -36,6 +36,8 @@ package vth
 import (
 	"fmt"
 	"math"
+
+	"readretry/internal/nand"
 )
 
 // Condition is an operating condition: the triple the paper sweeps in every
@@ -61,6 +63,14 @@ func (c Condition) kiloPEC() float64 { return float64(c.PEC) / 1000 }
 type Params struct {
 	// --- voltage-space geometry -----------------------------------------
 
+	// CellBits is the bits per cell of the modeled device (nand.CellKind):
+	// 3 for the paper's TLC chips. 0 means TLC for compatibility with
+	// configs predating the device-geometry abstraction. Kinds other than
+	// TLC scale the V_TH geometry by the read-offset spacing ratio
+	// (ReadOffsets / 7): drift polynomials steepen and the state
+	// separation shrinks by that ratio, so the same calibrated constants
+	// describe a device with more, tighter levels.
+	CellBits int
 	// LadderStepMV is δ, the coarse spacing of the manufacturer read-retry
 	// ladder in millivolts.
 	LadderStepMV float64
@@ -176,6 +186,7 @@ type Params struct {
 // anchor list; the package tests assert each one.
 func DefaultParams() Params {
 	return Params{
+		CellBits:       3,
 		LadderStepMV:   60,
 		MaxLadderSteps: 40,
 
@@ -221,9 +232,46 @@ func DefaultParams() Params {
 	}
 }
 
+// QLC16Params returns the model recalibrated for a 16-level QLC device in
+// the style of the PAPERS.md QLC references (RARO; Cai et al.): twice the
+// states in the same voltage window (the spacing ratio 15/7 steepens drift
+// and shrinks separation automatically via CellBits), a finer retry ladder
+// with more entries to cover the faster V_OPT drift, colder-read
+// sensitivity, and the stronger LDPC-class ECC QLC parts ship with.
+func QLC16Params() Params {
+	p := DefaultParams()
+	p.CellBits = 4
+	// Finer ladder for the tighter state spacing, and enough entries that
+	// the worst grid condition (2K P/E, 12 months) still lands inside the
+	// table after the 15/7 drift steepening.
+	p.LadderStepMV = 40
+	p.MaxLadderSteps = 80
+	// Nominal H/σ before the 15/7 spacing shrink; effective fresh
+	// separation ≈ 2.43σ — QLC's thin margins.
+	p.FreshSeparation = 5.2
+	p.CellsPerKiBPerLevel = 512 // 8192 bits / 16 states
+	// QLC reads are more temperature-sensitive (Cai et al.).
+	p.TempAddBase = 3
+	p.TempAddDrift = 5
+	// LDPC-class capability typical of QLC controllers.
+	p.CapabilityPerKiB = 160
+	return p
+}
+
+// kind returns the cell kind the parameters describe, treating the zero
+// value as TLC for compatibility.
+func (p Params) kind() nand.CellKind {
+	if p.CellBits == 0 {
+		return nand.TLC
+	}
+	return nand.CellKind(p.CellBits)
+}
+
 // Validate reports whether the parameters are physically meaningful.
 func (p Params) Validate() error {
 	switch {
+	case p.CellBits != 0 && !nand.CellKind(p.CellBits).Valid():
+		return fmt.Errorf("vth: unsupported CellBits %d", p.CellBits)
 	case p.LadderStepMV <= 0:
 		return fmt.Errorf("vth: LadderStepMV must be positive, got %v", p.LadderStepMV)
 	case p.MaxLadderSteps < 1:

@@ -39,8 +39,10 @@ type ConditionProfile struct {
 	tempAdd   int     // TempAdd(cond)
 	// floorRaw[pt] = CellsPerKiBPerLevel × levels(pt) × 2 × overlap(cond):
 	// the worst-page final-step error count before severity scaling, per
-	// page type (LSB, CSB, MSB).
-	floorRaw [3]float64
+	// page kind (LSB, CSB, MSB for TLC). Sized for the largest supported
+	// cell kind (QLC's 4 page kinds) and fixed so the profile stays
+	// allocation-free; kinds with fewer page kinds leave the tail zero.
+	floorRaw [4]float64
 	// penaltyRaw = timingPenaltyRaw(cond, red): the worst-page timing
 	// penalty before severity scaling.
 	penaltyRaw float64
@@ -59,9 +61,9 @@ func (m *Model) Profile(c Condition, r nand.Reduction) *ConditionProfile {
 		tempAdd:    m.TempAdd(c),
 		penaltyRaw: m.timingPenaltyRaw(c, r),
 	}
-	overlap := mathx.Q(m.p.FreshSeparation / m.widen(c))
-	for pt := nand.LSB; pt <= nand.MSB; pt++ {
-		p.floorRaw[pt] = m.p.CellsPerKiBPerLevel * levelsOf(pt) * 2 * overlap
+	overlap := mathx.Q(m.effSep / m.widen(c))
+	for pt := nand.PageType(0); int(pt) < m.kind.PageKinds(); pt++ {
+		p.floorRaw[pt] = m.p.CellsPerKiBPerLevel * m.levels(pt) * 2 * overlap
 	}
 	return p
 }

@@ -109,7 +109,8 @@ type (
 // final-step error floors, and timing-reduction penalties.
 type ChipModel = vth.Model
 
-// PageType identifies a TLC page's bit position (LSB/CSB/MSB).
+// PageType identifies a page's bit position within its cell (for TLC:
+// LSB/CSB/MSB).
 type PageType = nand.PageType
 
 // TLC page types. CSB pages sense three read levels and bound the error
@@ -119,6 +120,42 @@ const (
 	CSBPage = nand.CSB
 	MSBPage = nand.MSB
 )
+
+// CellKind is the number of bits a NAND cell stores — the geometry axis
+// that determines page kinds per wordline, voltage levels, and read-level
+// assignments (Geometry.CellBits names one).
+type CellKind = nand.CellKind
+
+// The supported cell kinds.
+const (
+	SLC = nand.SLC // 1 bit, 2 levels
+	MLC = nand.MLC // 2 bits, 4 levels
+	TLC = nand.TLC // 3 bits, 8 levels — the paper's device
+	QLC = nand.QLC // 4 bits, 16 levels
+)
+
+// Device names a preset cell-level device configuration the sweeps can
+// run on: geometry, error-model calibration, and ECC strength.
+type Device = ssd.Device
+
+// The supported device presets.
+const (
+	// DeviceTLC is the paper's 3D TLC device (the default template).
+	DeviceTLC = ssd.DeviceTLC
+	// DeviceQLC16 is a 16-level QLC device: steeper drift, thinner
+	// margins, a longer retry ladder, and LDPC-class ECC.
+	DeviceQLC16 = ssd.DeviceQLC16
+)
+
+// Devices lists the supported device presets.
+func Devices() []Device { return ssd.Devices() }
+
+// ParseDevice resolves a device preset name (case-insensitive).
+func ParseDevice(s string) (Device, error) { return ssd.ParseDevice(s) }
+
+// QLC16ChipParams returns the error-model calibration DeviceQLC16
+// installs: the TLC anchors rescaled to 16 levels' thinner margins.
+func QLC16ChipParams() ChipParams { return vth.QLC16Params() }
 
 // NewChipModel builds an error model over params with the given
 // process-variation seed.
@@ -236,12 +273,16 @@ type (
 	SweepConfig = experiments.Config
 	// SweepResult holds the measured cells and summary statistics.
 	SweepResult = experiments.Result
-	// SweepCondition is one (PEC, retention, temperature) evaluation
-	// point; TempC 0 inherits the device template's temperature.
+	// SweepCondition is one (PEC, retention, temperature, device)
+	// evaluation point; TempC 0 inherits the device template's
+	// temperature, Device "" the base template itself.
 	SweepCondition = experiments.Condition
 	// SweepTempReduction is one row of SweepResult.ReductionByTemp: a
 	// scheme's response-time reduction at one operating temperature.
 	SweepTempReduction = experiments.TempReduction
+	// SweepDeviceReduction is one row of SweepResult.ReductionByDevice: a
+	// scheme's response-time reduction on one device preset.
+	SweepDeviceReduction = experiments.DeviceReduction
 	// SweepVariant is one configuration column of a sweep.
 	SweepVariant = experiments.Variant
 	// SweepCell is one measured (workload, condition, configuration) cell.
@@ -282,6 +323,14 @@ func NewSweepCSVSinkFor(cfg SweepConfig, w io.Writer) (*SweepCSVSink, error) {
 // implicitly.
 func CrossTemps(conds []SweepCondition, temps []float64) []SweepCondition {
 	return experiments.CrossTemps(conds, temps)
+}
+
+// CrossDevices expands a condition grid across a device axis: every
+// condition repeats once per preset with its Device set — the grid
+// SweepConfig.Devices builds implicitly, putting TLC and QLC cells side
+// by side in one sweep.
+func CrossDevices(conds []SweepCondition, devices []Device) []SweepCondition {
+	return experiments.CrossDevices(conds, devices)
 }
 
 // NewSweepCache returns an in-memory per-cell cache, living as long as

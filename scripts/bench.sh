@@ -5,15 +5,25 @@
 # Usage:
 #   scripts/bench.sh [output.json] [benchtime]
 #
-# Defaults: BENCH_PR5.json in the repository root, -benchtime 5x. The JSON
-# maps each benchmark to {ns_per_op, bytes_per_op, allocs_per_op}; custom
-# metrics (mean_nrr, workers, …) are ignored. Compare a fresh run against
-# the latest committed BENCH_PR*.json to spot regressions.
+# Defaults: the next BENCH_PR<n>.json after the highest one committed in
+# the repository root (BENCH_PR1.json when none exist), -benchtime 5x. The
+# JSON maps each benchmark to {ns_per_op, bytes_per_op, allocs_per_op};
+# custom metrics (mean_nrr, workers, …) are ignored. Compare a fresh run
+# against the latest committed BENCH_PR*.json to spot regressions.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 
-out="${1:-BENCH_PR5.json}"
+# Without an explicit output, continue the BENCH_PR<n>.json trajectory one
+# past the highest number present, so the default never overwrites a
+# committed baseline.
+next_bench_out() {
+  local latest
+  latest=$(ls BENCH_PR*.json 2>/dev/null | sed 's/[^0-9]*//g' | sort -n | tail -1)
+  echo "BENCH_PR$((${latest:-0} + 1)).json"
+}
+
+out="${1:-$(next_bench_out)}"
 macrotime="${2:-5x}"
 
 # Nanosecond-scale benchmarks need a time budget to converge; whole-cell
@@ -22,7 +32,7 @@ micro=$(go test . -run NONE \
   -bench 'BenchmarkReadPath|BenchmarkVthModelRead' \
   -benchtime 2s -benchmem)
 macro=$(go test . -run NONE \
-  -bench 'BenchmarkSweepCell|BenchmarkSweepSerial|BenchmarkSweepParallel|BenchmarkSweepTemperatureGrid|BenchmarkSweepSharded|BenchmarkSSDSimulationThroughput' \
+  -bench 'BenchmarkSweepCell|BenchmarkSweepSerial|BenchmarkSweepParallel|BenchmarkSweepTemperatureGrid|BenchmarkSweepQLCGrid|BenchmarkSweepSharded|BenchmarkSSDSimulationThroughput' \
   -benchtime "$macrotime" -benchmem)
 raw="$micro
 $macro"
