@@ -17,6 +17,9 @@ import (
 	"net"
 	"net/http"
 	"os"
+	"os/signal"
+	"sync"
+	"syscall"
 	"time"
 
 	"readretry/internal/experiments"
@@ -31,6 +34,7 @@ var (
 
 	serveShards = flag.Int("serve-shards", 8, "how many shards to partition each submitted sweep into (with -serve or -submit)")
 	leaseTTL    = flag.Duration("lease-ttl", coord.DefaultLeaseTTL, "how long a worker lease survives without a heartbeat before its shard is re-leased (with -serve)")
+	stateDir    = flag.String("state-dir", "", "directory for the coordinator's crash-safe state journal (with -serve): a killed coordinator restarted with the same -state-dir resumes every job with zero lost work")
 )
 
 // networked reports whether a coordinator-protocol sweep mode is active
@@ -101,13 +105,38 @@ func runNetworkedSweeps(cfg experiments.Config, add func(figure, quantity, paper
 // workers until every job — its own and any a -submit client sends while
 // it is up — has completed. It renders its own figures and exits; an
 // external job keeps it alive until that job completes too.
+//
+// With -state-dir, every submission and completion is journaled before it
+// is acknowledged, and startup replays the journal: a SIGKILL'd
+// coordinator restarted with the same -state-dir resumes where it died,
+// re-simulating nothing. SIGTERM/SIGINT trigger a graceful exit instead:
+// stop granting leases, let in-flight deliveries land (journaled), flush,
+// exit 0.
 func runServeMode(cfg experiments.Config, figs []figureSweep) error {
-	c := coord.New(coord.Options{LeaseTTL: *leaseTTL, Cache: cfg.Cache})
+	var c *coord.Coordinator
+	opts := coord.Options{LeaseTTL: *leaseTTL, Cache: cfg.Cache}
+	if *stateDir != "" {
+		recovered, stats, err := coord.Recover(*stateDir, opts)
+		if err != nil {
+			return err
+		}
+		c = recovered
+		note := ""
+		if stats.TornTail {
+			note = " (discarded a torn final journal entry from the crash)"
+		}
+		coordLogf("coordinator: recovered state from %s: %s%s", *stateDir, stats, note)
+	} else {
+		c = coord.New(opts)
+		coordLogf("coordinator: no -state-dir; a crash loses queued jobs (merged cells survive only in -cache-dir)")
+	}
 	ln, err := net.Listen("tcp", *serveAddr)
 	if err != nil {
+		c.Close()
 		return err
 	}
-	srv := &http.Server{Handler: coord.NewServer(c).Handler()}
+	server := coord.NewServer(c)
+	srv := &http.Server{Handler: server.Handler()}
 	serveErr := make(chan error, 1)
 	go func() { serveErr <- srv.Serve(ln) }()
 	ctx, cancel := context.WithCancel(context.Background())
@@ -115,6 +144,41 @@ func runServeMode(cfg experiments.Config, figs []figureSweep) error {
 	go c.ExpireLoop(ctx, 0)
 	coordLogf("coordinator: serving sweeps on %s (lease TTL %v); start workers with: repro -worker %s",
 		ln.Addr(), *leaseTTL, ln.Addr())
+
+	// finish tears the daemon down in the one safe order: drain (no new
+	// leases, blocked long-polls released), let in-flight requests land,
+	// then flush and close the journal.
+	finish := func() error {
+		server.Drain()
+		cancel()
+		shutCtx, shutCancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer shutCancel()
+		_ = srv.Shutdown(shutCtx)
+		serr := <-serveErr
+		cerr := c.Close()
+		if serr != nil && !errors.Is(serr, http.ErrServerClosed) {
+			return serr
+		}
+		return cerr
+	}
+
+	// A termination signal flips the daemon into drain mode; the wait
+	// loops below notice and exit cleanly (status 0 — the journal has
+	// everything a restart needs).
+	sigCh := make(chan os.Signal, 1)
+	signal.Notify(sigCh, syscall.SIGTERM, syscall.SIGINT)
+	defer signal.Stop(sigCh)
+	stop := make(chan struct{})
+	var stopOnce sync.Once
+	go func() {
+		sig, ok := <-sigCh
+		if !ok {
+			return
+		}
+		coordLogf("coordinator: received %v; draining (in-flight completions will land, journal will flush)", sig)
+		server.Drain()
+		stopOnce.Do(func() { close(stop) })
+	}()
 
 	type ownJob struct {
 		fig figureSweep
@@ -124,7 +188,7 @@ func runServeMode(cfg experiments.Config, figs []figureSweep) error {
 	for _, f := range figs {
 		j, err := c.Submit(coord.SpecOf(cfg, f.variants), *serveShards)
 		if err != nil {
-			srv.Close()
+			finish()
 			return fmt.Errorf("%s: %w", f.name, err)
 		}
 		st, _ := c.Status(j.ID)
@@ -136,6 +200,9 @@ func runServeMode(cfg experiments.Config, figs []figureSweep) error {
 	for _, o := range own {
 		for done := false; !done; {
 			select {
+			case <-stop:
+				coordLogf("coordinator: exiting before %s completed; restart with -state-dir %s to resume", o.fig.name, *stateDir)
+				return finish()
 			case <-o.job.Done():
 				done = true
 			case <-time.After(2 * time.Second):
@@ -148,12 +215,12 @@ func runServeMode(cfg experiments.Config, figs []figureSweep) error {
 		}
 		res, err := o.job.Result()
 		if err != nil {
-			srv.Close()
+			finish()
 			return fmt.Errorf("%s: %w", o.fig.name, err)
 		}
 		o.fig.render(res)
 		if err := writeFigureCSV(o.fig.name, res); err != nil {
-			srv.Close()
+			finish()
 			return err
 		}
 	}
@@ -171,7 +238,12 @@ func runServeMode(cfg experiments.Config, figs []figureSweep) error {
 					coordLogf("coordinator: own sweeps done; draining externally submitted job %.12s…", st.ID)
 				}
 				waiting++
-				<-j.Done()
+				select {
+				case <-stop:
+					coordLogf("coordinator: exiting with external jobs pending; restart with -state-dir %s to resume", *stateDir)
+					return finish()
+				case <-j.Done():
+				}
 			}
 		}
 		if waiting == 0 {
@@ -179,14 +251,7 @@ func runServeMode(cfg experiments.Config, figs []figureSweep) error {
 		}
 	}
 
-	cancel()
-	shutCtx, shutCancel := context.WithTimeout(context.Background(), 5*time.Second)
-	defer shutCancel()
-	_ = srv.Shutdown(shutCtx)
-	if err := <-serveErr; err != nil && !errors.Is(err, http.ErrServerClosed) {
-		return err
-	}
-	return nil
+	return finish()
 }
 
 // runSubmitMode is the -submit client: register every selected sweep first

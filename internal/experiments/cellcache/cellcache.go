@@ -12,14 +12,25 @@
 // re-run of a grown grid only simulates cells it has never seen (a second
 // identical run performs zero simulations). Both are safe for concurrent
 // use by the engine's worker pool.
+//
+// Because disk entries feed byte-identity merges (the shard and coord
+// subsystems treat a cache hit as ground truth), the disk tier defends its
+// integrity end to end: every entry carries a CRC-32C over its payload, a
+// corrupt or torn entry is quarantined and treated as a miss (the engine
+// recomputes the cell and the next Put heals the entry), and stale temp
+// files left behind by crashed writers are garbage-collected on open.
 package cellcache
 
 import (
 	"encoding/json"
 	"fmt"
+	"hash/crc32"
 	"os"
 	"path/filepath"
+	"strings"
 	"sync"
+	"sync/atomic"
+	"time"
 )
 
 // Measurement is the raw (normalization-free) result of one simulated
@@ -68,12 +79,48 @@ func (c *memory) Put(key string, m Measurement) {
 	c.mu.Unlock()
 }
 
-// disk is the persistent tier: one JSON file per key under dir, fronted
-// by a memory tier so repeated lookups within a run never touch the
-// filesystem twice.
-type disk struct {
-	dir string
-	mem memory
+// entryVersion is the current on-disk entry format: a JSON envelope whose
+// crc32c field covers the measurement payload bytes, so a flipped byte
+// anywhere in the payload — or a torn/legacy entry that predates the
+// envelope — is detected on read instead of flowing into a merge.
+const entryVersion = 1
+
+// castagnoli is the CRC-32C table (the same polynomial storage systems
+// use for end-to-end data integrity).
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// diskEntry is the on-disk envelope around one measurement.
+type diskEntry struct {
+	Version int             `json:"v"`
+	Sum     string          `json:"crc32c"`
+	Payload json.RawMessage `json:"m"`
+}
+
+func payloadSum(payload []byte) string {
+	return fmt.Sprintf("%08x", crc32.Checksum(payload, castagnoli))
+}
+
+// QuarantineDir is the subdirectory (under the cache dir) corrupt entries
+// are moved into for post-mortem inspection. validKey keys contain no '.'
+// or '/', so the name can never collide with a live entry file.
+const QuarantineDir = "quarantine"
+
+// orphanTmpAge is how stale a *.json.tmp* file must be before open
+// removes it as a crashed writer's leftover. The age gate keeps open from
+// racing a live writer in another process whose temp file is mid-flight
+// (deleting it would only degrade that Put to a miss, but there is no
+// reason to take even that).
+const orphanTmpAge = time.Hour
+
+// DiskCache is the persistent tier: one checksummed JSON file per key
+// under dir, fronted by a memory tier so repeated lookups within a run
+// never touch the filesystem twice.
+type DiskCache struct {
+	dir     string
+	mem     memory
+	logf    func(format string, args ...interface{})
+	corrupt atomic.Int64
+	orphans int
 }
 
 // Disk returns a cache persisted under dir (created if absent), fronted
@@ -81,16 +128,59 @@ type disk struct {
 // key; writes go through a temp file + best-effort fsync + rename, so
 // neither a crashed run nor a concurrent reader in another process ever
 // observes a torn entry — many processes (the shard subsystem's workers)
-// may safely share one dir — and unreadable or corrupt entries degrade to
-// misses. Concurrent writers of the same key land whole entries in some
-// order; since keys are content addresses, both writes carry the same
-// measurement and either outcome is correct.
-func Disk(dir string) (Cache, error) {
+// may safely share one dir. Each entry carries a CRC-32C checksum over its
+// payload: an entry that fails to parse or verify is quarantined under
+// dir/quarantine and treated as a miss, so the engine recomputes the cell
+// and the re-Put heals the entry. Opening also garbage-collects temp files
+// older than an hour — the droppings of writers that crashed between
+// CreateTemp and rename — without touching live entries. Concurrent
+// writers of the same key land whole entries in some order; since keys are
+// content addresses, both writes carry the same measurement and either
+// outcome is correct.
+func Disk(dir string) (*DiskCache, error) {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("cellcache: %w", err)
 	}
-	return &disk{dir: dir, mem: memory{m: make(map[string]Measurement)}}, nil
+	c := &DiskCache{dir: dir, mem: memory{m: make(map[string]Measurement)}}
+	c.orphans = gcOrphanTmp(dir)
+	return c, nil
 }
+
+// gcOrphanTmp removes stale atomic-write temp files from dir, returning
+// how many it reclaimed. Failures are ignored — GC is hygiene, not
+// correctness.
+func gcOrphanTmp(dir string) int {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return 0
+	}
+	cutoff := time.Now().Add(-orphanTmpAge)
+	n := 0
+	for _, ent := range entries {
+		if ent.IsDir() || !strings.Contains(ent.Name(), ".json.tmp") {
+			continue
+		}
+		info, err := ent.Info()
+		if err != nil || info.ModTime().After(cutoff) {
+			continue
+		}
+		if os.Remove(filepath.Join(dir, ent.Name())) == nil {
+			n++
+		}
+	}
+	return n
+}
+
+// SetLogf installs an observer for integrity events (corrupt entries
+// quarantined). Set it before the cache is shared across goroutines.
+func (c *DiskCache) SetLogf(logf func(format string, args ...interface{})) { c.logf = logf }
+
+// CorruptCount reports how many corrupt disk entries this instance has
+// detected and quarantined.
+func (c *DiskCache) CorruptCount() int64 { return c.corrupt.Load() }
+
+// OrphansRemoved reports how many stale temp files open reclaimed.
+func (c *DiskCache) OrphansRemoved() int { return c.orphans }
 
 // validKey accepts exactly the keys the engine derives — non-empty
 // hex/alphanumeric names that cannot traverse out of dir.
@@ -109,9 +199,9 @@ func validKey(key string) bool {
 	return true
 }
 
-func (c *disk) path(key string) string { return filepath.Join(c.dir, key+".json") }
+func (c *DiskCache) path(key string) string { return filepath.Join(c.dir, key+".json") }
 
-func (c *disk) Get(key string) (Measurement, bool) {
+func (c *DiskCache) Get(key string) (Measurement, bool) {
 	if m, ok := c.mem.Get(key); ok {
 		return m, true
 	}
@@ -122,20 +212,64 @@ func (c *disk) Get(key string) (Measurement, bool) {
 	if err != nil {
 		return Measurement{}, false
 	}
-	var m Measurement
-	if err := json.Unmarshal(data, &m); err != nil {
+	m, err := decodeEntry(data)
+	if err != nil {
+		c.quarantine(key, err)
 		return Measurement{}, false
 	}
 	c.mem.Put(key, m)
 	return m, true
 }
 
-func (c *disk) Put(key string, m Measurement) {
+// decodeEntry parses and verifies one on-disk entry.
+func decodeEntry(data []byte) (Measurement, error) {
+	var e diskEntry
+	if err := json.Unmarshal(data, &e); err != nil {
+		return Measurement{}, fmt.Errorf("cellcache: entry is not a checksummed envelope: %w", err)
+	}
+	if e.Version != entryVersion {
+		return Measurement{}, fmt.Errorf("cellcache: entry version %d, want %d", e.Version, entryVersion)
+	}
+	if sum := payloadSum(e.Payload); sum != e.Sum {
+		return Measurement{}, fmt.Errorf("cellcache: entry checksum %s does not match payload (%s)", e.Sum, sum)
+	}
+	var m Measurement
+	if err := json.Unmarshal(e.Payload, &m); err != nil {
+		return Measurement{}, fmt.Errorf("cellcache: entry payload: %w", err)
+	}
+	return m, nil
+}
+
+// quarantine moves a corrupt entry aside — dir/quarantine/<key>.json — so
+// the miss it degrades to is permanent (the next Get cannot trip over it
+// again) and the bad bytes stay available for inspection. If the move
+// fails the entry is removed outright; either way the corruption is
+// counted and surfaced through the logf observer.
+func (c *DiskCache) quarantine(key string, cause error) {
+	c.corrupt.Add(1)
+	path := c.path(key)
+	qdir := filepath.Join(c.dir, QuarantineDir)
+	moved := "quarantined"
+	if err := os.MkdirAll(qdir, 0o755); err != nil ||
+		os.Rename(path, filepath.Join(qdir, key+".json")) != nil {
+		os.Remove(path)
+		moved = "removed"
+	}
+	if c.logf != nil {
+		c.logf("cellcache: corrupt entry %s %s (%v); treating as a miss, will recompute", key, moved, cause)
+	}
+}
+
+func (c *DiskCache) Put(key string, m Measurement) {
 	c.mem.Put(key, m)
 	if !validKey(key) {
 		return
 	}
-	data, err := json.Marshal(m)
+	payload, err := json.Marshal(m)
+	if err != nil {
+		return
+	}
+	data, err := json.Marshal(diskEntry{Version: entryVersion, Sum: payloadSum(payload), Payload: payload})
 	if err != nil {
 		return
 	}

@@ -7,6 +7,7 @@ import (
 	"strings"
 	"sync"
 	"testing"
+	"time"
 )
 
 var sample = Measurement{Mean: 123.4, MeanRead: 101.5, P99Read: 987.6, RetrySteps: 7.25}
@@ -91,6 +92,121 @@ func TestDiskCorruptEntryIsAMiss(t *testing.T) {
 	}
 	if _, ok := c.Get(key); ok {
 		t.Fatal("corrupt entry reported a hit")
+	}
+}
+
+// TestDiskFlippedByteQuarantinedAndHealed is the integrity contract end to
+// end: a single flipped byte inside a valid-looking entry fails its
+// CRC-32C, the entry is quarantined (not left in place to trip the next
+// reader), the corruption is surfaced through the counter and log
+// observer, and a recompute-and-Put heals the key.
+func TestDiskFlippedByteQuarantinedAndHealed(t *testing.T) {
+	dir := t.TempDir()
+	c, err := Disk(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Put(key, sample)
+
+	// Flip one byte of the payload region on disk.
+	path := filepath.Join(dir, key+".json")
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	i := strings.Index(string(data), "123.4")
+	if i < 0 {
+		t.Fatalf("entry does not embed the payload: %s", data)
+	}
+	data[i] = '9'
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	// A fresh instance (cold memory tier) must detect, count, and
+	// quarantine — and report a miss, never the poisoned value.
+	var logged []string
+	c2, err := Disk(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c2.SetLogf(func(format string, args ...interface{}) {
+		logged = append(logged, fmt.Sprintf(format, args...))
+	})
+	if m, ok := c2.Get(key); ok {
+		t.Fatalf("flipped-byte entry reported a hit: %+v", m)
+	}
+	if got := c2.CorruptCount(); got != 1 {
+		t.Fatalf("CorruptCount = %d, want 1", got)
+	}
+	if len(logged) != 1 || !strings.Contains(logged[0], "corrupt entry "+key) {
+		t.Fatalf("corruption not surfaced in log: %q", logged)
+	}
+	if _, err := os.Stat(filepath.Join(dir, QuarantineDir, key+".json")); err != nil {
+		t.Fatalf("corrupt entry not quarantined: %v", err)
+	}
+	if _, err := os.Stat(path); !os.IsNotExist(err) {
+		t.Fatalf("corrupt entry still live at %s (%v)", path, err)
+	}
+
+	// Recompute-and-heal: the next Put restores a verifiable entry.
+	c2.Put(key, sample)
+	c3, err := Disk(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m, ok := c3.Get(key); !ok || m != sample {
+		t.Fatalf("healed entry = %+v, %v; want %+v, true", m, ok, sample)
+	}
+	if got := c3.CorruptCount(); got != 0 {
+		t.Fatalf("healed entry still counted corrupt: %d", got)
+	}
+}
+
+// TestDiskGCOrphanTmpFiles: temp files a crashed writer left behind are
+// reclaimed on open once they are stale, while live entries — and fresh
+// temp files that may belong to a writer in another process — are left
+// alone.
+func TestDiskGCOrphanTmpFiles(t *testing.T) {
+	dir := t.TempDir()
+	c, err := Disk(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Put(key, sample)
+
+	old := time.Now().Add(-2 * orphanTmpAge)
+	stale1 := filepath.Join(dir, key+".json.tmp123")
+	stale2 := filepath.Join(dir, "deadbeef.json.tmp9")
+	fresh := filepath.Join(dir, key+".json.tmp456")
+	for _, p := range []string{stale1, stale2, fresh} {
+		if err := os.WriteFile(p, []byte("partial"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, p := range []string{stale1, stale2} {
+		if err := os.Chtimes(p, old, old); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	c2, err := Disk(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := c2.OrphansRemoved(); got != 2 {
+		t.Fatalf("OrphansRemoved = %d, want 2", got)
+	}
+	for _, p := range []string{stale1, stale2} {
+		if _, err := os.Stat(p); !os.IsNotExist(err) {
+			t.Fatalf("stale orphan %s survived GC (%v)", p, err)
+		}
+	}
+	if _, err := os.Stat(fresh); err != nil {
+		t.Fatalf("fresh temp file was GCed: %v", err)
+	}
+	if m, ok := c2.Get(key); !ok || m != sample {
+		t.Fatalf("live entry touched by GC: %+v, %v", m, ok)
 	}
 }
 

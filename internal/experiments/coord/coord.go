@@ -249,10 +249,18 @@ type Coordinator struct {
 	ttl   time.Duration
 	cache cellcache.Cache
 
-	mu     sync.Mutex
-	jobs   map[string]*Job // by ConfigHash
-	order  []*Job          // submission order, for fair lease scanning
-	leases map[string]*lease
+	mu sync.Mutex
+	// journal, when non-nil (Recover attaches it), is the write-ahead log:
+	// Submit and Complete append — and fsync — before mutating state, so
+	// anything the coordinator has acknowledged is replayable after a
+	// crash. See journal.go.
+	journal *Journal
+	// draining refuses new leases (graceful shutdown: in-flight completes
+	// still merge, heartbeats still answer, but no new work goes out).
+	draining bool
+	jobs     map[string]*Job // by ConfigHash
+	order    []*Job          // submission order, for fair lease scanning
+	leases   map[string]*lease
 	// expired remembers revoked/expired lease IDs (and the job they
 	// belonged to, so finalizing a job reclaims its tombstones) to tell a
 	// late heartbeat "expired" rather than "unknown".
@@ -281,6 +289,33 @@ func New(opts Options) *Coordinator {
 
 // LeaseTTL returns the configured lease lifetime.
 func (c *Coordinator) LeaseTTL() time.Duration { return c.ttl }
+
+// Drain puts the coordinator into graceful-shutdown mode: Lease refuses
+// new grants while everything already in flight still lands — heartbeats
+// renew, completion records merge (and journal), results stay readable.
+// Drain is how SIGTERM stops the bleeding without discarding acknowledged
+// work; it is not reversible.
+func (c *Coordinator) Drain() {
+	c.mu.Lock()
+	c.draining = true
+	c.mu.Unlock()
+}
+
+// Close flushes and detaches the journal, if any (a coordinator built by
+// New rather than Recover has none and Close is a no-op). Call it only
+// after the transport has stopped delivering requests: a Submit or
+// Complete accepted after Close would no longer be journaled.
+func (c *Coordinator) Close() error {
+	c.mu.Lock()
+	jl := c.journal
+	c.journal = nil
+	c.draining = true
+	c.mu.Unlock()
+	if jl != nil {
+		return jl.Close()
+	}
+	return nil
+}
 
 // Submit registers a sweep, partitioned into shards work units, and
 // returns its job. Submitting a sweep whose ConfigHash is already tracked
@@ -346,6 +381,15 @@ func (c *Coordinator) Submit(spec Spec, shards int) (*Job, error) {
 		}
 		if covered { // includes the empty shards of an n > cells plan
 			j.shards[i].status = shardDone
+		}
+	}
+	if c.journal != nil {
+		// WAL discipline: the submission is durable before it is
+		// acknowledged. A journal failure refuses the submission with no
+		// state change — the client retries once the journal is writable.
+		spec := spec
+		if err := c.journal.Append(journalEntry{Type: "submit", Spec: &spec, Shards: shards}); err != nil {
+			return nil, err
 		}
 	}
 	c.jobs[j.ID] = j
@@ -419,6 +463,9 @@ func (c *Coordinator) Lease(workerID string) (*Lease, bool) {
 	defer c.mu.Unlock()
 	now := c.clock.Now()
 	c.expireLocked(now)
+	if c.draining {
+		return nil, false
+	}
 	for _, j := range c.order {
 		select {
 		case <-j.done:
@@ -541,6 +588,25 @@ func (c *Coordinator) Complete(leaseID string, rec *shard.Record) (duplicate boo
 	case <-j.done:
 		finalized = true
 	default:
+	}
+	if c.journal != nil {
+		// Journal the record before merging it, but only if it changes
+		// state (new cells, or a planned shard newly done) — re-deliveries
+		// of already-merged records must not grow the journal unboundedly.
+		newCells := false
+		if !finalized {
+			for _, cr := range rec.Results {
+				if !j.have[cr.Index] {
+					newCells = true
+					break
+				}
+			}
+		}
+		if newCells || (shardIdx >= 0 && !duplicate) {
+			if err := c.journal.Append(journalEntry{Type: "complete", Record: rec}); err != nil {
+				return false, err
+			}
+		}
 	}
 	if !finalized {
 		for _, cr := range rec.Results {

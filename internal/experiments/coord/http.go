@@ -7,11 +7,13 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"math/rand"
 	"net"
 	"net/http"
 	"net/url"
 	"os"
 	"strings"
+	"sync"
 	"time"
 
 	"readretry/internal/experiments"
@@ -71,18 +73,41 @@ type completeResponse struct {
 type errorResponse struct {
 	Error string `json:"error"`
 	// Kind discriminates the typed errors so clients rebuild them:
-	// "lease_expired", "unknown_lease", "foreign_record", "bad_record".
+	// "lease_expired", "unknown_lease", "foreign_record", "bad_record",
+	// "journal" (retryable: the coordinator refused because its journal
+	// was unwritable).
 	Kind       string `json:"kind,omitempty"`
 	ConfigHash string `json:"config_hash,omitempty"`
 }
 
+// Request-body ceilings, enforced with http.MaxBytesReader so an oversized
+// or malicious payload is cut off at the limit (413) instead of buffering
+// unbounded. Submissions and completion records legitimately carry whole
+// sweep grids; everything else is a few fixed fields.
+const (
+	maxRecordBody = 64 << 20
+	maxSmallBody  = 1 << 20
+)
+
 // Server serves a Coordinator over HTTP.
 type Server struct {
-	c *Coordinator
+	c         *Coordinator
+	drain     chan struct{}
+	drainOnce sync.Once
 }
 
 // NewServer wraps a coordinator.
-func NewServer(c *Coordinator) *Server { return &Server{c: c} }
+func NewServer(c *Coordinator) *Server { return &Server{c: c, drain: make(chan struct{})} }
+
+// Drain puts the server (and its coordinator) into graceful-shutdown mode:
+// new leases are refused, blocked /result long-polls return 503 so their
+// clients disconnect, but heartbeats and in-flight /complete deliveries
+// still land — the shutdown path calls Drain first, then http.Server.
+// Shutdown, which waits for those in-flight requests.
+func (s *Server) Drain() {
+	s.c.Drain()
+	s.drainOnce.Do(func() { close(s.drain) })
+}
 
 // Handler returns the protocol's http.Handler.
 func (s *Server) Handler() http.Handler {
@@ -115,13 +140,17 @@ func writeError(w http.ResponseWriter, status int, err error) {
 		resp.Kind = "unknown_lease"
 	case errors.Is(err, ErrBadRecord):
 		resp.Kind = "bad_record"
+	case errors.Is(err, ErrJournal):
+		resp.Kind = "journal"
 	}
 	writeJSON(w, status, resp)
 }
 
-// decode enforces the method and parses the body; a false return means the
-// response has been written.
-func decode(w http.ResponseWriter, r *http.Request, method string, v interface{}) bool {
+// decode enforces the method, caps the body at limit bytes, and parses it;
+// a false return means the response has been written. Anything a client
+// can send — truncated JSON, wrong types, garbage, a body over the cap —
+// comes back as a typed 4xx, never a panic or an unbounded read.
+func decode(w http.ResponseWriter, r *http.Request, method string, limit int64, v interface{}) bool {
 	if r.Method != method {
 		w.Header().Set("Allow", method)
 		writeError(w, http.StatusMethodNotAllowed, fmt.Errorf("coord: %s needs %s", r.URL.Path, method))
@@ -130,21 +159,39 @@ func decode(w http.ResponseWriter, r *http.Request, method string, v interface{}
 	if v == nil {
 		return true
 	}
-	if err := json.NewDecoder(r.Body).Decode(v); err != nil {
+	body := http.MaxBytesReader(w, r.Body, limit)
+	if err := json.NewDecoder(body).Decode(v); err != nil {
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			writeError(w, http.StatusRequestEntityTooLarge,
+				fmt.Errorf("coord: %s request exceeds %d bytes", r.URL.Path, tooBig.Limit))
+			return false
+		}
 		writeError(w, http.StatusBadRequest, fmt.Errorf("coord: parsing %s request: %w", r.URL.Path, err))
 		return false
 	}
 	return true
 }
 
+// submitStatus maps a Submit/Complete error to its wire status: journal
+// failures are 503 (retryable refusals — the WAL discipline rejected the
+// mutation without touching state, so a retry once the disk recovers is
+// safe and loses nothing); everything else is the client's fault (400).
+func submitStatus(err error) int {
+	if errors.Is(err, ErrJournal) {
+		return http.StatusServiceUnavailable
+	}
+	return http.StatusBadRequest
+}
+
 func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	var req submitRequest
-	if !decode(w, r, http.MethodPost, &req) {
+	if !decode(w, r, http.MethodPost, maxRecordBody, &req) {
 		return
 	}
 	j, err := s.c.Submit(req.Spec, req.Shards)
 	if err != nil {
-		writeError(w, http.StatusBadRequest, err)
+		writeError(w, submitStatus(err), err)
 		return
 	}
 	st, _ := s.c.Status(j.ID)
@@ -155,7 +202,7 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleLease(w http.ResponseWriter, r *http.Request) {
 	var req leaseRequest
-	if !decode(w, r, http.MethodPost, &req) {
+	if !decode(w, r, http.MethodPost, maxSmallBody, &req) {
 		return
 	}
 	l, ok := s.c.Lease(req.WorkerID)
@@ -168,7 +215,7 @@ func (s *Server) handleLease(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleHeartbeat(w http.ResponseWriter, r *http.Request) {
 	var req heartbeatRequest
-	if !decode(w, r, http.MethodPost, &req) {
+	if !decode(w, r, http.MethodPost, maxSmallBody, &req) {
 		return
 	}
 	deadline, err := s.c.Heartbeat(req.LeaseID)
@@ -181,7 +228,7 @@ func (s *Server) handleHeartbeat(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleComplete(w http.ResponseWriter, r *http.Request) {
 	var req completeRequest
-	if !decode(w, r, http.MethodPost, &req) {
+	if !decode(w, r, http.MethodPost, maxRecordBody, &req) {
 		return
 	}
 	dup, err := s.c.Complete(req.LeaseID, req.Record)
@@ -191,14 +238,14 @@ func (s *Server) handleComplete(w http.ResponseWriter, r *http.Request) {
 			writeError(w, http.StatusConflict, err)
 			return
 		}
-		writeError(w, http.StatusBadRequest, err)
+		writeError(w, submitStatus(err), err)
 		return
 	}
 	writeJSON(w, http.StatusOK, completeResponse{Duplicate: dup})
 }
 
 func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
-	if !decode(w, r, http.MethodGet, nil) {
+	if !decode(w, r, http.MethodGet, maxSmallBody, nil) {
 		return
 	}
 	st, ok := s.c.Status(r.URL.Query().Get("id"))
@@ -210,7 +257,7 @@ func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
-	if !decode(w, r, http.MethodGet, nil) {
+	if !decode(w, r, http.MethodGet, maxSmallBody, nil) {
 		return
 	}
 	id := r.URL.Query().Get("id")
@@ -220,9 +267,17 @@ func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	select {
-	case <-r.Context().Done():
-		return // client gave up; nothing useful to write
-	case <-j.Done():
+	case <-j.Done(): // a finalized result is served even while draining
+	default:
+		select {
+		case <-r.Context().Done():
+			return // client gave up; nothing useful to write
+		case <-s.drain:
+			writeError(w, http.StatusServiceUnavailable,
+				errors.New("coord: coordinator draining for shutdown"))
+			return
+		case <-j.Done():
+		}
 	}
 	res, err := j.Result()
 	if err != nil {
@@ -242,25 +297,89 @@ func Serve(ctx context.Context, addr string, opts Options) error {
 	if err != nil {
 		return fmt.Errorf("coord: %w", err)
 	}
-	srv := &http.Server{Handler: NewServer(c).Handler()}
+	server := NewServer(c)
+	srv := &http.Server{Handler: server.Handler()}
 	go c.ExpireLoop(ctx, 0)
 	go func() {
 		<-ctx.Done()
+		server.Drain() // refuse new leases, release blocked long-polls
 		shutdownCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
 		defer cancel()
-		_ = srv.Shutdown(shutdownCtx)
+		_ = srv.Shutdown(shutdownCtx) // waits for in-flight /complete
 	}()
 	if err := srv.Serve(ln); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		c.Close()
 		return fmt.Errorf("coord: %w", err)
 	}
-	return nil
+	return c.Close()
+}
+
+// RetryPolicy bounds the client's retry loop: up to Attempts tries per
+// call, sleeping an exponentially growing, jittered delay between them.
+// Only failures that are safe and useful to retry are retried — transport
+// errors (the coordinator was unreachable; every protocol mutation is
+// idempotent, so re-sending a request whose response was lost is safe) and
+// 5xx statuses (the coordinator refused without changing state, e.g. a
+// journal write failure). Typed protocol errors (expired leases, foreign
+// records, malformed requests) and other 4xx are never retried: the
+// coordinator answered, and the same request will fail the same way.
+type RetryPolicy struct {
+	// Attempts is the total number of tries; values below 1 mean one try
+	// (no retry).
+	Attempts int
+	// BaseDelay seeds the exponential backoff; the delay before retry n
+	// is min(BaseDelay·2ⁿ, MaxDelay), jittered down by up to half.
+	BaseDelay time.Duration
+	MaxDelay  time.Duration
+	// Jitter returns a uniform float64 in [0,1); nil uses math/rand. Fixed
+	// functions make backoff schedules deterministic in tests.
+	Jitter func() float64
+}
+
+// DefaultRetry is the policy NewClient installs: four attempts spanning
+// roughly a second of backoff, enough to ride out a coordinator restart
+// without masking a real outage for long.
+func DefaultRetry() RetryPolicy {
+	return RetryPolicy{Attempts: 4, BaseDelay: 100 * time.Millisecond, MaxDelay: 2 * time.Second}
+}
+
+// delay computes the jittered backoff before retry attempt (0-based).
+func (p RetryPolicy) delay(attempt int) time.Duration {
+	d := p.BaseDelay
+	if d <= 0 {
+		d = 100 * time.Millisecond
+	}
+	for i := 0; i < attempt && d < p.MaxDelay; i++ {
+		d *= 2
+	}
+	if p.MaxDelay > 0 && d > p.MaxDelay {
+		d = p.MaxDelay
+	}
+	jitter := p.Jitter
+	if jitter == nil {
+		jitter = rand.Float64
+	}
+	// Uniform in [d/2, d): full pressure never lands in lockstep.
+	return d/2 + time.Duration(jitter()*float64(d/2))
 }
 
 // Client speaks the coordinator protocol. The zero value is unusable; use
-// NewClient, which normalizes bare host:port addresses to http URLs.
+// NewClient, which normalizes bare host:port addresses to http URLs and
+// installs DefaultRetry.
 type Client struct {
 	BaseURL string
 	HTTP    *http.Client
+	// Retry governs re-sending failed calls; see RetryPolicy for what
+	// qualifies. The zero value disables retries.
+	Retry RetryPolicy
+	// RequestTimeout bounds each individual attempt of every call except
+	// the /result long-poll (which legitimately blocks for a whole sweep).
+	// Zero means no per-attempt deadline beyond the caller's ctx.
+	RequestTimeout time.Duration
+	// Sleep waits between retries; nil uses a real timer. It returns false
+	// if ctx ended first. Tests inject a fake to run backoff schedules
+	// without wall-clock time.
+	Sleep func(ctx context.Context, d time.Duration) bool
 }
 
 // NewClient builds a client for a coordinator at addr ("host:port" or a
@@ -269,7 +388,12 @@ func NewClient(addr string) *Client {
 	if !strings.Contains(addr, "://") {
 		addr = "http://" + addr
 	}
-	return &Client{BaseURL: strings.TrimRight(addr, "/"), HTTP: &http.Client{}}
+	return &Client{
+		BaseURL:        strings.TrimRight(addr, "/"),
+		HTTP:           &http.Client{},
+		Retry:          DefaultRetry(),
+		RequestTimeout: 30 * time.Second,
+	}
 }
 
 func (cl *Client) httpClient() *http.Client {
@@ -279,9 +403,53 @@ func (cl *Client) httpClient() *http.Client {
 	return http.DefaultClient
 }
 
-// call performs one round-trip; out is filled on 2xx. Non-2xx statuses
-// return the decoded typed error.
+func (cl *Client) sleep(ctx context.Context, d time.Duration) bool {
+	if cl.Sleep != nil {
+		return cl.Sleep(ctx, d)
+	}
+	return sleep(ctx, d)
+}
+
+// retryable reports whether one attempt's outcome is worth another try.
+func retryable(status int, err error) bool {
+	if err != nil && isTransportError(err) {
+		return true
+	}
+	return status >= 500
+}
+
+// call performs one protocol call with the client's retry policy: up to
+// Retry.Attempts round-trips, backing off between retryable failures. The
+// /result long-poll is exempt from the per-attempt RequestTimeout but not
+// from retries — if the connection drops mid-poll, the re-sent GET simply
+// resumes waiting.
 func (cl *Client) call(ctx context.Context, method, path string, in, out interface{}) (int, error) {
+	attempts := cl.Retry.Attempts
+	if attempts < 1 {
+		attempts = 1
+	}
+	var status int
+	var err error
+	for attempt := 0; attempt < attempts; attempt++ {
+		if attempt > 0 && !cl.sleep(ctx, cl.Retry.delay(attempt-1)) {
+			return status, err // ctx ended while backing off; report the last failure
+		}
+		status, err = cl.callOnce(ctx, method, path, in, out)
+		if err == nil || !retryable(status, err) || ctx.Err() != nil {
+			return status, err
+		}
+	}
+	return status, err
+}
+
+// callOnce performs one round-trip; out is filled on 2xx. Non-2xx statuses
+// return the decoded typed error.
+func (cl *Client) callOnce(ctx context.Context, method, path string, in, out interface{}) (int, error) {
+	if cl.RequestTimeout > 0 && !strings.HasPrefix(path, "/result") {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, cl.RequestTimeout)
+		defer cancel()
+	}
 	var body io.Reader
 	if in != nil {
 		data, err := json.Marshal(in)
@@ -324,6 +492,8 @@ func (cl *Client) call(ctx context.Context, method, path string, in, out interfa
 		return resp.StatusCode, fmt.Errorf("%w (coordinator: %s)", ErrUnknownLease, e.Error)
 	case "bad_record":
 		return resp.StatusCode, fmt.Errorf("%w (coordinator: %s)", ErrBadRecord, e.Error)
+	case "journal":
+		return resp.StatusCode, fmt.Errorf("%w (coordinator: %s)", ErrJournal, e.Error)
 	}
 	return resp.StatusCode, fmt.Errorf("coord: %s: %s", path, e.Error)
 }

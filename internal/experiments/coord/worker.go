@@ -35,10 +35,30 @@ type Worker struct {
 	// HeartbeatEvery overrides the heartbeat cadence; 0 selects a third
 	// of the lease TTL (three chances before the lease dies).
 	HeartbeatEvery time.Duration
+	// HeartbeatMisses is how many *consecutive* failed heartbeats the
+	// worker rides out before abandoning the shard; 0 means 3. Only the
+	// coordinator's word — ErrLeaseExpired / ErrUnknownLease — cancels
+	// immediately: a transient transport failure is not evidence the
+	// lease is lost (the coordinator may be mid-restart), and cancelling
+	// a healthy run over one dropped packet throws away real simulation
+	// time. The tolerance is bounded by the lease itself: once the TTL
+	// passes un-renewed the coordinator re-leases the shard and the next
+	// successful heartbeat comes back ErrLeaseExpired anyway.
+	HeartbeatMisses int
+	// GoneAfter is how many consecutive transport-failed polls (after
+	// first contact) the worker tolerates before concluding the
+	// coordinator served its sweeps and exited; 0 means 3. Each failed
+	// poll already spans the client's full retry budget, so the streak
+	// rides out a coordinator restart without masking a real exit for
+	// long.
+	GoneAfter int
 	// OnCell, when non-nil, observes per-cell progress within a shard —
 	// also the fault-injection hook the tests use to kill a worker
 	// mid-shard.
 	OnCell func(m shard.Manifest, done, total int)
+	// Sleep waits between polls; nil uses a real timer. Tests inject a
+	// fake to run the loop without wall-clock time.
+	Sleep func(ctx context.Context, d time.Duration) bool
 	// Logf, when non-nil, receives progress lines.
 	Logf func(format string, args ...interface{})
 }
@@ -49,13 +69,22 @@ func (w *Worker) logf(format string, args ...interface{}) {
 	}
 }
 
+func (w *Worker) sleep(ctx context.Context, d time.Duration) bool {
+	if w.Sleep != nil {
+		return w.Sleep(ctx, d)
+	}
+	return sleep(ctx, d)
+}
+
 // Run pulls and executes shards until ctx ends or the coordinator goes
-// away. Before first contact, transport errors retry (worker started
-// before the coordinator finished binding); after first contact, a
-// transport error is read as "coordinator served its sweeps and exited" —
-// the CI topology — and Run returns nil. A lost lease (expiry raced a
-// slow shard) is not fatal either: the shard has been re-leased to
-// someone else, so the loop just pulls again.
+// away. Before first contact, transport errors retry indefinitely (worker
+// started before the coordinator finished binding); after first contact,
+// only GoneAfter *consecutive* transport-failed polls are read as
+// "coordinator served its sweeps and exited" — the CI topology — so a
+// coordinator restart (crash + Recover on the same address) looks like a
+// brief streak that a surviving poll resets, not an exit. A lost lease
+// (expiry raced a slow shard) is not fatal either: the shard has been
+// re-leased to someone else, so the loop just pulls again.
 func (w *Worker) Run(ctx context.Context) error {
 	if w.Client == nil {
 		return errors.New("coord: worker has no client")
@@ -68,7 +97,24 @@ func (w *Worker) Run(ctx context.Context) error {
 	if poll <= 0 {
 		poll = time.Second
 	}
+	goneAfter := w.GoneAfter
+	if goneAfter <= 0 {
+		goneAfter = 3
+	}
 	contacted := false
+	goneStreak := 0
+	// gone classifies one transport failure after contact: tolerate it
+	// (sleep, poll again) until the streak says the coordinator is truly
+	// gone.
+	gone := func(err error) bool {
+		goneStreak++
+		if goneStreak >= goneAfter {
+			w.logf("worker %s: coordinator gone (%d consecutive failures, last: %v); done", id, goneStreak, err)
+			return true
+		}
+		w.logf("worker %s: coordinator unreachable (%d/%d, %v); retrying", id, goneStreak, goneAfter, err)
+		return false
+	}
 	for {
 		if err := ctx.Err(); err != nil {
 			return err
@@ -80,11 +126,13 @@ func (w *Worker) Run(ctx context.Context) error {
 			}
 			if isTransportError(err) {
 				if contacted {
-					w.logf("worker %s: coordinator gone (%v); done", id, err)
-					return nil
+					if gone(err) {
+						return nil
+					}
+				} else {
+					w.logf("worker %s: waiting for coordinator: %v", id, err)
 				}
-				w.logf("worker %s: waiting for coordinator: %v", id, err)
-				if !sleep(ctx, poll) {
+				if !w.sleep(ctx, poll) {
 					return ctx.Err()
 				}
 				continue
@@ -92,8 +140,9 @@ func (w *Worker) Run(ctx context.Context) error {
 			return err
 		}
 		contacted = true
+		goneStreak = 0
 		if !ok {
-			if !sleep(ctx, poll) {
+			if !w.sleep(ctx, poll) {
 				return ctx.Err()
 			}
 			continue
@@ -108,21 +157,35 @@ func (w *Worker) Run(ctx context.Context) error {
 				w.logf("worker %s: lost lease %s on shard %d/%d: %v", id, l.ID, l.Manifest.Index, l.Manifest.Count, err)
 				continue
 			}
-			if contacted && isTransportError(err) {
-				w.logf("worker %s: coordinator gone mid-shard (%v); done", id, err)
-				return nil
+			if isTransportError(err) {
+				// A delivery or heartbeat that could not reach the
+				// coordinator counts toward the same streak: the shard's
+				// work is safe (cache + re-lease), so keep polling.
+				if gone(err) {
+					return nil
+				}
+				if !w.sleep(ctx, poll) {
+					return ctx.Err()
+				}
+				continue
 			}
 			return err
 		}
+		goneStreak = 0
 	}
 }
 
 // runLease executes one leased shard: heartbeats in the background at a
 // third of the TTL, runs the manifest through shard.Run over the worker's
-// cache, and delivers the completion record. A heartbeat rejection
-// cancels the in-flight run — there is no point finishing a shard the
-// coordinator has re-leased (and the duplicate would be harmlessly
-// idempotent anyway, the cancel just saves the simulation time).
+// cache, and delivers the completion record. A heartbeat *rejection* —
+// the coordinator saying the lease is expired or unknown — cancels the
+// in-flight run: there is no point finishing a shard the coordinator has
+// re-leased (and the duplicate would be harmlessly idempotent anyway, the
+// cancel just saves the simulation time). A heartbeat that merely fails
+// to reach the coordinator is different: it proves nothing about the
+// lease, so the worker keeps simulating through HeartbeatMisses
+// consecutive misses (each already carrying the client's retry/backoff
+// budget) before treating the coordinator as unreachable.
 func (w *Worker) runLease(ctx context.Context, l *Lease) error {
 	cfg := l.Spec.Config()
 	cfg.Parallelism = w.Parallelism
@@ -143,24 +206,42 @@ func (w *Worker) runLease(ctx context.Context, l *Lease) error {
 	if interval <= 0 {
 		interval = time.Second
 	}
+	allowedMisses := w.HeartbeatMisses
+	if allowedMisses <= 0 {
+		allowedMisses = 3
+	}
 	go func() {
 		defer close(hbDone)
 		ticker := time.NewTicker(interval)
 		defer ticker.Stop()
+		misses := 0
 		for {
 			select {
 			case <-runCtx.Done():
 				return
 			case <-ticker.C:
 			}
-			if _, err := w.Client.Heartbeat(runCtx, l.ID); err != nil {
-				if runCtx.Err() != nil {
-					return
-				}
+			_, err := w.Client.Heartbeat(runCtx, l.ID)
+			if err == nil {
+				misses = 0
+				continue
+			}
+			if runCtx.Err() != nil {
+				return
+			}
+			if errors.Is(err, ErrLeaseExpired) || errors.Is(err, ErrUnknownLease) {
+				// The coordinator's word: the lease is gone, stop now.
 				hbErr = err
 				cancel()
 				return
 			}
+			misses++
+			if misses >= allowedMisses {
+				hbErr = err
+				cancel()
+				return
+			}
+			w.logf("worker: heartbeat for lease %s failed (%d/%d, %v); continuing shard", l.ID, misses, allowedMisses, err)
 		}
 	}()
 

@@ -494,3 +494,36 @@ func RunWorker(ctx context.Context, addr string, cache SweepCache, parallelism i
 func SubmitSweep(ctx context.Context, cfg SweepConfig, variants []SweepVariant, addr string, shards int) (*SweepResult, error) {
 	return coord.SubmitSweep(ctx, addr, cfg, variants, shards)
 }
+
+// Coordinator durability: the crash-safe state journal and the transport
+// fault-tolerance knobs (DESIGN.md §12).
+type (
+	// SweepRecoveryStats summarizes what RecoverSweepCoordinator replayed:
+	// jobs, completion records, merged cells, and whether a torn final
+	// journal entry (an unacknowledged append the crash interrupted) was
+	// discarded.
+	SweepRecoveryStats = coord.RecoveryStats
+	// SweepRetryPolicy bounds a SweepClient's retry loop: attempts,
+	// exponential backoff base/cap, and jitter. Transport errors and 5xx
+	// refusals are retried (every protocol mutation is idempotent); typed
+	// protocol errors never are.
+	SweepRetryPolicy = coord.RetryPolicy
+	// SweepDiskCache is the concrete disk tier behind NewDiskSweepCache,
+	// exposing its integrity surface: per-entry CRC-32C checksums,
+	// CorruptCount, and quarantine-on-corruption (corrupt entries move to
+	// a quarantine subdirectory and degrade to recomputable misses).
+	SweepDiskCache = cellcache.DiskCache
+)
+
+// RecoverSweepCoordinator builds a coordinator whose durable state lives
+// under stateDir: every submission and accepted completion record is
+// appended to an fsync'd journal before it is acknowledged, and this call
+// replays that journal (plus opts.Cache) into a fresh coordinator — a
+// SIGKILL'd coordinator restarted over the same stateDir resumes every
+// job with zero lost work and zero duplicate simulation. Leases are
+// deliberately not recovered (workers re-pull after their heartbeats are
+// rejected). Close the returned coordinator to flush and release the
+// journal.
+func RecoverSweepCoordinator(stateDir string, opts SweepCoordinatorOptions) (*SweepCoordinator, SweepRecoveryStats, error) {
+	return coord.Recover(stateDir, opts)
+}

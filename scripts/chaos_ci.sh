@@ -1,0 +1,104 @@
+#!/usr/bin/env bash
+# Durability end-to-end check for the coordinator's crash-safe state
+# journal: a -serve coordinator with a -state-dir is SIGKILLed mid-run —
+# no cleanup, no flush, no goodbye — and restarted over the same state
+# dir. The restart must replay the journal (the log proves recovered
+# cells were carried across the crash, i.e. finished work was not
+# re-simulated), the workers must ride out the outage on their retry
+# budgets, and the merged CSV the restarted coordinator renders must be
+# byte-identical to a single-process run of the same sweep.
+#
+# Usage: scripts/chaos_ci.sh [workdir]
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+WORK="${1:-$(mktemp -d /tmp/chaos-ci.XXXXXX)}"
+mkdir -p "$WORK"
+PORT="${CHAOS_CI_PORT:-9737}"
+ADDR="127.0.0.1:$PORT"
+STATE="$WORK/state"
+
+echo "== chaos_ci: workdir $WORK, coordinator on $ADDR, state dir $STATE"
+go build -o "$WORK/repro" ./cmd/repro
+
+W3_PID=""
+SERVE2_PID=""
+cleanup() {
+  kill "$W1_PID" "$W2_PID" "$W3_PID" "$SERVE_PID" "$SERVE2_PID" 2>/dev/null || true
+}
+trap cleanup EXIT
+
+echo "== chaos_ci: single-process reference sweep"
+"$WORK/repro" -only fig14 -progress=false -csv "$WORK/single" > /dev/null
+
+echo "== chaos_ci: starting journaled coordinator"
+"$WORK/repro" -only fig14 -progress=false \
+  -serve "$ADDR" -serve-shards 6 -lease-ttl 3s -state-dir "$STATE" \
+  -csv "$WORK/merged" > "$WORK/serve1.out" 2> "$WORK/serve1.err" &
+SERVE_PID=$!
+
+echo "== chaos_ci: starting two workers over a shared crash-resume cache"
+"$WORK/repro" -worker "$ADDR" -cache-dir "$WORK/worker-cache" 2> "$WORK/w1.err" &
+W1_PID=$!
+"$WORK/repro" -worker "$ADDR" -cache-dir "$WORK/worker-cache" 2> "$WORK/w2.err" &
+W2_PID=$!
+
+# Kill only once finished work is actually at stake: wait until at least
+# one completed shard's record has hit the journal (but the run is not
+# over), then model a coordinator machine loss: SIGKILL, mid-run.
+JOURNAL="$STATE/coordinator.journal"
+for _ in $(seq 1 240); do
+  if [ "$(grep -c '"type":"complete"' "$JOURNAL" 2>/dev/null || true)" -ge 1 ]; then
+    break
+  fi
+  if ! kill -0 "$SERVE_PID" 2>/dev/null; then
+    echo "chaos_ci: coordinator finished before any kill point was reached" >&2
+    exit 1
+  fi
+  sleep 0.5
+done
+if [ "$(grep -c '"type":"complete"' "$JOURNAL" 2>/dev/null || true)" -lt 1 ]; then
+  echo "chaos_ci: no completion record reached the journal in time" >&2
+  exit 1
+fi
+echo "== chaos_ci: SIGKILLing coordinator (pid $SERVE_PID) mid-run"
+kill -9 "$SERVE_PID"
+wait "$SERVE_PID" 2>/dev/null || true
+
+echo "== chaos_ci: restarting coordinator from $STATE"
+"$WORK/repro" -only fig14 -progress=false \
+  -serve "$ADDR" -serve-shards 6 -lease-ttl 3s -state-dir "$STATE" \
+  -csv "$WORK/merged" > "$WORK/serve2.out" 2> "$WORK/serve2.err" &
+SERVE2_PID=$!
+
+# The original workers bridge the outage on their retry/gone budgets; a
+# third worker is the backstop in case the restart lost the timing race
+# against their "coordinator gone" streaks.
+"$WORK/repro" -worker "$ADDR" -cache-dir "$WORK/worker-cache" 2> "$WORK/w3.err" &
+W3_PID=$!
+
+if ! wait "$SERVE2_PID"; then
+  echo "chaos_ci: restarted coordinator failed" >&2
+  sed 's/^/  serve2: /' "$WORK/serve2.err" >&2
+  exit 1
+fi
+SERVE2_PID=""
+wait "$W1_PID" "$W2_PID" "$W3_PID" 2>/dev/null || true
+
+echo "== chaos_ci: checking the restart replayed journaled work"
+RECOVERED_LINE="$(grep 'recovered state' "$WORK/serve2.err" || true)"
+if [ -z "$RECOVERED_LINE" ]; then
+  echo "chaos_ci: restarted coordinator never reported a journal recovery" >&2
+  sed 's/^/  serve2: /' "$WORK/serve2.err" >&2
+  exit 1
+fi
+echo "  $RECOVERED_LINE"
+RECOVERED_CELLS="$(printf '%s\n' "$RECOVERED_LINE" | sed -n 's/.* \([0-9][0-9]*\) cells recovered.*/\1/p')"
+if [ -z "$RECOVERED_CELLS" ] || [ "$RECOVERED_CELLS" -eq 0 ]; then
+  echo "chaos_ci: journal replay recovered 0 cells — the crash lost finished work" >&2
+  exit 1
+fi
+
+echo "== chaos_ci: diffing merged CSV against the single-process reference"
+diff "$WORK/single/fig14.csv" "$WORK/merged/fig14.csv"
+echo "== chaos_ci: PASS — byte-identical after coordinator SIGKILL + journal recovery ($RECOVERED_CELLS cells carried across the crash)"
