@@ -1,0 +1,126 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"go/importer"
+	"go/token"
+	"io"
+	"os"
+	"strings"
+
+	"readretry/internal/analysis"
+)
+
+// vetConfig is the unit file the go command hands a -vettool, mirroring
+// the fields golang.org/x/tools/go/analysis/unitchecker consumes: one
+// already-resolved package — source files, the import rename map, and
+// compiler export data for every dependency — so the tool never does its
+// own build-system work.
+type vetConfig struct {
+	ID                        string
+	Compiler                  string
+	Dir                       string
+	ImportPath                string
+	GoVersion                 string
+	GoFiles                   []string
+	ImportMap                 map[string]string
+	PackageFile               map[string]string
+	VetxOnly                  bool
+	VetxOutput                string
+	SucceedOnTypecheckFailure bool
+}
+
+// unitcheck runs the suite over one vet unit file and returns the
+// process exit code (0 clean, 2 findings — the go vet convention).
+func unitcheck(cfgFile string) int {
+	data, err := os.ReadFile(cfgFile)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "reprolint:", err)
+		return 1
+	}
+	var cfg vetConfig
+	if err := json.Unmarshal(data, &cfg); err != nil {
+		fmt.Fprintf(os.Stderr, "reprolint: parsing %s: %v\n", cfgFile, err)
+		return 1
+	}
+	// The go command expects the facts file regardless of findings; the
+	// suite exports no facts, so it is always empty.
+	if cfg.VetxOutput != "" {
+		if err := os.WriteFile(cfg.VetxOutput, nil, 0o666); err != nil {
+			fmt.Fprintln(os.Stderr, "reprolint:", err)
+			return 1
+		}
+	}
+	if cfg.VetxOnly {
+		return 0
+	}
+	// The suite lints non-test sources only (Package.Files contract),
+	// but vet dispatches test variants too — the same import path with
+	// _test.go files merged in, plus "p [p.test]" / "p.test" units.
+	// Dropping test files (they never declare anything the shipped
+	// files reference, so the remainder still type-checks) keeps both
+	// entry points reporting the same findings; all-test units are
+	// acknowledged empty.
+	if strings.Contains(cfg.ImportPath, " [") || strings.HasSuffix(cfg.ImportPath, ".test") {
+		return 0
+	}
+	shipped := cfg.GoFiles[:0]
+	for _, f := range cfg.GoFiles {
+		if !strings.HasSuffix(f, "_test.go") {
+			shipped = append(shipped, f)
+		}
+	}
+	cfg.GoFiles = shipped
+	if len(cfg.GoFiles) == 0 {
+		return 0
+	}
+	diags, err := runUnit(cfg)
+	if err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			return 0
+		}
+		fmt.Fprintln(os.Stderr, "reprolint:", err)
+		return 1
+	}
+	for _, d := range diags {
+		fmt.Fprintln(os.Stderr, d)
+	}
+	if len(diags) > 0 {
+		return 2
+	}
+	return 0
+}
+
+// runUnit type-checks the unit against its supplied export data and runs
+// every analyzer.
+func runUnit(cfg vetConfig) ([]analysis.Diagnostic, error) {
+	compiler := cfg.Compiler
+	if compiler == "" {
+		compiler = "gc"
+	}
+	fset := token.NewFileSet()
+	imp := importer.ForCompiler(fset, compiler, func(path string) (io.ReadCloser, error) {
+		if mapped, ok := cfg.ImportMap[path]; ok {
+			path = mapped
+		}
+		f, ok := cfg.PackageFile[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(f)
+	})
+	pkg, err := analysis.CheckFiles(fset, imp, cfg.ImportPath, cfg.Dir, cfg.GoFiles)
+	if err != nil {
+		return nil, err
+	}
+	var diags []analysis.Diagnostic
+	for _, a := range analysis.All() {
+		ds, err := pkg.Run(a)
+		if err != nil {
+			return nil, err
+		}
+		diags = append(diags, ds...)
+	}
+	return diags, nil
+}

@@ -1,0 +1,136 @@
+// Package analysistest runs an analyzer over fixture packages under a
+// testdata/src tree and checks its diagnostics against "// want"
+// expectations, mirroring golang.org/x/tools/go/analysis/analysistest on
+// the standard library only.
+//
+// A fixture line that should trigger a diagnostic ends with
+//
+//	// want "regexp"
+//
+// (multiple quoted or backquoted regexps for multiple diagnostics on one
+// line). Every diagnostic must be matched by a want on its line and every
+// want must match a diagnostic; either mismatch fails the test with the
+// fixture position. Fixtures live at <testdata>/src/<importpath>/*.go —
+// the import path is what scoped analyzers match their package lists
+// against, so a fixture under src/internal/sim/ is determinism-critical
+// while one under src/examples/ is exempt by configuration.
+package analysistest
+
+import (
+	"fmt"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+
+	"readretry/internal/analysis"
+)
+
+// want is one expectation parsed from a fixture comment.
+type want struct {
+	file    string
+	line    int
+	re      *regexp.Regexp
+	matched bool
+}
+
+// wantRE finds the expectation marker; string literals after it are
+// parsed by literalRE.
+var (
+	wantRE    = regexp.MustCompile(`//\s*want\s+(.*)$`)
+	literalRE = regexp.MustCompile("`[^`]*`|\"(?:[^\"\\\\]|\\\\.)*\"")
+)
+
+// Run loads each fixture package under dir/src, applies the analyzer,
+// and reports expectation mismatches through t.
+func Run(t *testing.T, dir string, a *analysis.Analyzer, paths ...string) {
+	t.Helper()
+	for _, path := range paths {
+		pkg, err := analysis.LoadDir(filepath.Join(dir, "src", filepath.FromSlash(path)), path)
+		if err != nil {
+			t.Errorf("loading fixture %s: %v", path, err)
+			continue
+		}
+		diags, err := pkg.Run(a)
+		if err != nil {
+			t.Errorf("running %s on %s: %v", a.Name, path, err)
+			continue
+		}
+		wants, err := parseWants(pkg)
+		if err != nil {
+			t.Errorf("fixture %s: %v", path, err)
+			continue
+		}
+		for _, d := range diags {
+			if !claim(wants, d.Pos.Filename, d.Pos.Line, d.Message) {
+				t.Errorf("%s: unexpected diagnostic: %s", path, d)
+			}
+		}
+		for _, w := range wants {
+			if !w.matched {
+				t.Errorf("%s: %s:%d: expected diagnostic matching %q, got none", path, w.file, w.line, w.re)
+			}
+		}
+	}
+}
+
+// claim pairs a diagnostic with the first unmatched want on its line
+// whose pattern matches.
+func claim(wants []*want, file string, line int, msg string) bool {
+	for _, w := range wants {
+		if !w.matched && w.file == file && w.line == line && w.re.MatchString(msg) {
+			w.matched = true
+			return true
+		}
+	}
+	return false
+}
+
+// parseWants extracts every want expectation from the package's comments.
+func parseWants(pkg *analysis.Package) ([]*want, error) {
+	var wants []*want
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := wantRE.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Slash)
+				lits := literalRE.FindAllString(m[1], -1)
+				if len(lits) == 0 {
+					return nil, fmt.Errorf("%s:%d: want comment with no pattern", pos.Filename, pos.Line)
+				}
+				for _, lit := range lits {
+					pat, err := unquote(lit)
+					if err != nil {
+						return nil, fmt.Errorf("%s:%d: bad want literal %s: %v", pos.Filename, pos.Line, lit, err)
+					}
+					re, err := regexp.Compile(pat)
+					if err != nil {
+						return nil, fmt.Errorf("%s:%d: bad want regexp %q: %v", pos.Filename, pos.Line, pat, err)
+					}
+					wants = append(wants, &want{file: pos.Filename, line: pos.Line, re: re})
+				}
+			}
+		}
+	}
+	return wants, nil
+}
+
+// unquote handles both "double-quoted" (with escapes) and `backquoted`
+// want literals.
+func unquote(lit string) (string, error) {
+	if strings.HasPrefix(lit, "`") {
+		return strings.Trim(lit, "`"), nil
+	}
+	var out strings.Builder
+	body := lit[1 : len(lit)-1]
+	for i := 0; i < len(body); i++ {
+		if body[i] == '\\' && i+1 < len(body) {
+			i++
+		}
+		out.WriteByte(body[i])
+	}
+	return out.String(), nil
+}

@@ -1,0 +1,117 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"regexp"
+	"sort"
+	"strings"
+)
+
+// Annotation is one parsed //lint:<name> <reason> comment. Annotations are
+// the audited escape hatches of the suite: each analyzer honors exactly
+// one name, a suppression applies only to findings on its own line or the
+// line directly below (a standalone comment above the site), and the
+// analyzers that guard dangerous exemptions (wallclock, nosync,
+// unguarded) report an annotation whose reason is empty rather than
+// honoring it.
+type Annotation struct {
+	// Name is the annotation kind: "wallclock", "orderok", "floateq",
+	// "nosync", or "unguarded".
+	Name string
+	// Reason is the free-text justification after the name; may be empty.
+	Reason string
+	// File and Line locate the comment itself.
+	File string
+	Line int
+	// Pos is the comment's position, for reporting bad annotations.
+	Pos token.Pos
+}
+
+// annotationRE matches one //lint: comment. The marker is deliberately
+// strict — no space before "lint:" — so prose mentioning annotations in
+// regular comments is never parsed as one.
+var annotationRE = regexp.MustCompile(`^//lint:([a-z]+)[ \t]*(.*)$`)
+
+// scanAnnotations collects every //lint: comment in the package, keyed by
+// file name, ordered by line.
+func scanAnnotations(fset *token.FileSet, files []*ast.File) map[string][]Annotation {
+	out := make(map[string][]Annotation)
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := annotationRE.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				reason := m[2]
+				// A reason stops at an embedded "// want" marker: an
+				// annotation line is one comment token, so this is how the
+				// analysistest fixtures state an expectation on the
+				// annotation's own line (e.g. that a bare annotation is
+				// reported) without the marker reading as a justification.
+				if i := strings.Index(reason, "// want"); i >= 0 {
+					reason = reason[:i]
+				}
+				pos := fset.Position(c.Slash)
+				out[pos.Filename] = append(out[pos.Filename], Annotation{
+					Name:   m[1],
+					Reason: strings.TrimSpace(reason),
+					File:   pos.Filename,
+					Line:   pos.Line,
+					Pos:    c.Slash,
+				})
+			}
+		}
+	}
+	return out
+}
+
+// Annotations returns every annotation of the given name in the
+// package, ordered by file then line.
+func (p *Pass) Annotations(name string) []Annotation {
+	files := make([]string, 0, len(p.annots))
+	for f := range p.annots {
+		files = append(files, f)
+	}
+	sort.Strings(files)
+	var out []Annotation
+	for _, f := range files {
+		for _, a := range p.annots[f] {
+			if a.Name == name {
+				out = append(out, a)
+			}
+		}
+	}
+	return out
+}
+
+// SuppressedAt reports whether a finding at pos is covered by an
+// annotation of the given name: same line (trailing comment) or the line
+// above (standalone comment). When requireReason is true an empty-reason
+// annotation does not suppress — it is a finding in its own right, which
+// ReportBadAnnotations surfaces.
+func (p *Pass) SuppressedAt(pos token.Pos, name string, requireReason bool) bool {
+	at := p.Fset.Position(pos)
+	for _, a := range p.annots[at.Filename] {
+		if a.Name != name || (a.Line != at.Line && a.Line != at.Line-1) {
+			continue
+		}
+		if requireReason && a.Reason == "" {
+			continue
+		}
+		return true
+	}
+	return false
+}
+
+// ReportBadAnnotations reports every annotation of the given name whose
+// reason is empty. Analyzers whose escape hatch demands justification
+// call this so an unjustified suppression is itself a diagnostic.
+func (p *Pass) ReportBadAnnotations(name string) {
+	for _, a := range p.Annotations(name) {
+		if a.Reason == "" {
+			p.Reportf(a.Pos, "//lint:%s annotation requires a reason", name)
+		}
+	}
+}

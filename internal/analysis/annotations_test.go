@@ -1,0 +1,84 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"testing"
+)
+
+func parseOne(t *testing.T, src string) (*token.FileSet, *Pass) {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "x.go", src, parser.ParseComments)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return fset, &Pass{
+		Analyzer: &Analyzer{Name: "test"},
+		Fset:     fset,
+		annots:   scanAnnotations(fset, []*ast.File{f}),
+	}
+}
+
+func TestScanAnnotations(t *testing.T) {
+	src := `package p
+
+func f() {
+	_ = 1 //lint:wallclock daemon mode reads real time
+	//lint:orderok
+	_ = 2
+	// lint:wallclock not an annotation (space before lint)
+	_ = 3 //lint:nosync scratch file // want "ignored as reason"
+}
+`
+	_, pass := parseOne(t, src)
+	wall := pass.Annotations("wallclock")
+	if len(wall) != 1 || wall[0].Reason != "daemon mode reads real time" || wall[0].Line != 4 {
+		t.Errorf("wallclock annotations = %+v", wall)
+	}
+	order := pass.Annotations("orderok")
+	if len(order) != 1 || order[0].Reason != "" || order[0].Line != 5 {
+		t.Errorf("orderok annotations = %+v", order)
+	}
+	// The // want marker is a fixture expectation, never a justification.
+	nosync := pass.Annotations("nosync")
+	if len(nosync) != 1 || nosync[0].Reason != "scratch file" {
+		t.Errorf("nosync annotations = %+v", nosync)
+	}
+}
+
+func TestSuppressedAt(t *testing.T) {
+	src := `package p
+
+func f() {
+	_ = 1 //lint:wallclock with reason
+	//lint:wallclock covering next line
+	_ = 2
+	_ = 3 //lint:wallclock
+	_ = 4
+}
+`
+	fset, pass := parseOne(t, src)
+	posAtLine := func(line int) token.Pos {
+		return fset.File(pass.annots["x.go"][0].Pos).LineStart(line)
+	}
+	if !pass.SuppressedAt(posAtLine(4), "wallclock", true) {
+		t.Error("same-line annotation with reason must suppress")
+	}
+	if !pass.SuppressedAt(posAtLine(6), "wallclock", true) {
+		t.Error("line-above annotation must suppress")
+	}
+	if pass.SuppressedAt(posAtLine(7), "wallclock", true) {
+		t.Error("bare annotation must not suppress when a reason is required")
+	}
+	if !pass.SuppressedAt(posAtLine(7), "wallclock", false) {
+		t.Error("bare annotation must suppress when no reason is required")
+	}
+	if pass.SuppressedAt(posAtLine(8), "wallclock", true) {
+		t.Error("line 8 has no covering annotation")
+	}
+	if pass.SuppressedAt(posAtLine(4), "orderok", false) {
+		t.Error("annotation names must not cross-suppress")
+	}
+}

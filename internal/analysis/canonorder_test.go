@@ -1,0 +1,12 @@
+package analysis_test
+
+import (
+	"testing"
+
+	"readretry/internal/analysis"
+	"readretry/internal/analysis/analysistest"
+)
+
+func TestCanonorder(t *testing.T) {
+	analysistest.Run(t, "testdata", analysis.Canonorder, "canonorder")
+}

@@ -1,0 +1,52 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// Nofloateq forbids ==/!= between floating-point operands in the numeric
+// packages (internal/vth, mathx, sim, rpt). After any arithmetic, exact
+// float equality is a rounding-accident waiting to silently flip a
+// threshold-voltage comparison or a latency bucket; comparisons belong
+// on an epsilon (mathx) or on restructured integer state. Exact sentinel
+// checks that are genuinely intended — a 0 meaning "unset", a NaN probe
+// — annotate //lint:floateq (no reason required, though one is welcome).
+var Nofloateq = &Analyzer{
+	Name: "nofloateq",
+	Doc:  "forbid ==/!= on floating-point operands in numeric packages (escape: //lint:floateq)",
+	Run:  runNofloateq,
+}
+
+func runNofloateq(pass *Pass) error {
+	if !PathInList(pass.Path, FloatEqPackages) {
+		return nil
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			be, ok := n.(*ast.BinaryExpr)
+			if !ok || (be.Op != token.EQL && be.Op != token.NEQ) {
+				return true
+			}
+			if !isFloat(pass, be.X) && !isFloat(pass, be.Y) {
+				return true
+			}
+			if pass.SuppressedAt(be.OpPos, "floateq", false) {
+				return true
+			}
+			pass.Reportf(be.OpPos, "floating-point %s comparison; use an epsilon or annotate //lint:floateq for an intentional sentinel", be.Op)
+			return true
+		})
+	}
+	return nil
+}
+
+func isFloat(pass *Pass, x ast.Expr) bool {
+	tv, ok := pass.TypesInfo.Types[x]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	b, ok := tv.Type.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsFloat != 0
+}

@@ -1,0 +1,12 @@
+package analysis_test
+
+import (
+	"testing"
+
+	"readretry/internal/analysis"
+	"readretry/internal/analysis/analysistest"
+)
+
+func TestSeededrand(t *testing.T) {
+	analysistest.Run(t, "testdata", analysis.Seededrand, "randuse", "internal/rng")
+}

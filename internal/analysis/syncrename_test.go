@@ -1,0 +1,12 @@
+package analysis_test
+
+import (
+	"testing"
+
+	"readretry/internal/analysis"
+	"readretry/internal/analysis/analysistest"
+)
+
+func TestSyncrename(t *testing.T) {
+	analysistest.Run(t, "testdata", analysis.Syncrename, "syncrename")
+}

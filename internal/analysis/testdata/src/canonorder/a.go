@@ -1,0 +1,91 @@
+// Package canonorder is the canonorder fixture: map iteration feeding
+// ordered output (slice append, io.Writer, hash) is a finding unless the
+// result is visibly sorted afterwards or the site carries //lint:orderok.
+package canonorder
+
+import (
+	"crypto/sha256"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+func badAppend(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k) // want `append inside map iteration produces non-deterministic order`
+	}
+	return keys
+}
+
+func sortedAfterIsFine(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+func slicesSortAlsoCounts(m map[int]int) []int {
+	var keys []int
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Ints(keys)
+	return keys
+}
+
+func badWriter(w io.Writer, m map[string]int) {
+	for k, v := range m {
+		fmt.Fprintf(w, "%s=%d\n", k, v) // want `fmt\.Fprintf inside map iteration writes in non-deterministic order`
+	}
+}
+
+func badBuilder(m map[string]int) string {
+	var b strings.Builder
+	for k := range m {
+		b.WriteString(k) // want `WriteString inside map iteration writes in non-deterministic order`
+	}
+	return b.String()
+}
+
+func badHash(m map[string]string) [32]byte {
+	h := sha256.New()
+	for _, v := range m {
+		h.Write([]byte(v)) // want `Write inside map iteration writes in non-deterministic order`
+	}
+	var out [32]byte
+	copy(out[:], h.Sum(nil))
+	return out
+}
+
+func suppressedAtCall(w io.Writer, m map[string]int) {
+	for k := range m {
+		io.WriteString(w, k) //lint:orderok fixture: order genuinely irrelevant here
+	}
+}
+
+func suppressedAtRange(m map[string]int) []string {
+	var keys []string
+	//lint:orderok fixture: consumer sorts
+	for k := range m {
+		keys = append(keys, k)
+	}
+	return keys
+}
+
+func orderInsensitiveBodyIsFine(m map[string]int) int {
+	total := 0
+	for _, v := range m {
+		total += v
+	}
+	return total
+}
+
+func rangeOverSliceIsFine(s []string, w io.Writer) {
+	for _, v := range s {
+		fmt.Fprintln(w, v)
+	}
+}

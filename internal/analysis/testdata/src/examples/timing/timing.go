@@ -1,0 +1,17 @@
+// Package timing is the detclock scoping fixture: its import path lives
+// under examples/, which is exempt by configuration (not annotation), so
+// wall-clock timing here — the legitimate demo-binary pattern — produces
+// no diagnostics at all.
+package timing
+
+import "time"
+
+func Elapsed(f func()) time.Duration {
+	start := time.Now()
+	f()
+	return time.Since(start)
+}
+
+func Throttle() {
+	time.Sleep(10 * time.Millisecond)
+}

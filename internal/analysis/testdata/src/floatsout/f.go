@@ -1,0 +1,8 @@
+// Package floatsout is the nofloateq scoping fixture: this import path
+// is outside the restricted numeric packages, so exact float comparisons
+// here are not findings.
+package floatsout
+
+func Exact(a, b float64) bool {
+	return a == b
+}

@@ -1,0 +1,69 @@
+// Package guardedby is the guardedby fixture: fields commented
+// "guarded by <mu>" may only be touched while the method visibly holds
+// that mutex, declares it as a precondition, or annotates the site.
+package guardedby
+
+import "sync"
+
+type counter struct {
+	mu sync.Mutex
+	n  int // guarded by mu
+	// hits is the read-side statistic.
+	// guarded by rw
+	hits int
+	rw   sync.RWMutex
+
+	free int // unguarded: no annotation, never checked
+}
+
+func (c *counter) Locked() {
+	c.mu.Lock()
+	c.n++
+	c.mu.Unlock()
+}
+
+func (c *counter) DeferLocked() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.n
+}
+
+func (c *counter) Bad() int {
+	return c.n // want `field c\.n is guarded by mu, but Bad does not hold it here`
+}
+
+func (c *counter) AfterUnlock() {
+	c.mu.Lock()
+	c.n++
+	c.mu.Unlock()
+	c.n++ // want `field c\.n is guarded by mu, but AfterUnlock does not hold it here`
+}
+
+func (c *counter) ReadLocked() int {
+	c.rw.RLock()
+	defer c.rw.RUnlock()
+	return c.hits
+}
+
+func (c *counter) WrongMutex() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.hits // want `field c\.hits is guarded by rw, but WrongMutex does not hold it here`
+}
+
+// bump increments the counter; the caller holds mu.
+func (c *counter) bump() {
+	c.n++
+}
+
+func (c *counter) FreeAccess() int {
+	return c.free
+}
+
+func (c *counter) Suppressed() int {
+	return c.n //lint:unguarded fixture: snapshot read, staleness acceptable
+}
+
+func (c *counter) BareSuppression() int {
+	return c.n //lint:unguarded // want `field c\.n is guarded by mu` `//lint:unguarded annotation requires a reason`
+}

@@ -1,0 +1,40 @@
+// Package mathx is the nofloateq fixture: its import path is in the
+// float-equality-restricted list, so exact ==/!= between floats is a
+// finding unless annotated as an intentional sentinel.
+package mathx
+
+func bad(a, b float64) bool {
+	if a == b { // want `floating-point == comparison`
+		return true
+	}
+	return a != b // want `floating-point != comparison`
+}
+
+func bad32(a float32) bool {
+	return a == 0.5 // want `floating-point == comparison`
+}
+
+func mixedConst(a float64) bool {
+	return 0 == a // want `floating-point == comparison`
+}
+
+func sentinel(a float64) bool {
+	return a == 0 //lint:floateq 0 is the unset sentinel, never computed
+}
+
+func nanProbe(a float64) bool {
+	//lint:floateq deliberate IEEE NaN self-compare
+	return a != a
+}
+
+func intsAreFine(a, b int) bool {
+	return a == b
+}
+
+func epsilonStyleIsFine(a, b, eps float64) bool {
+	d := a - b
+	if d < 0 {
+		d = -d
+	}
+	return d < eps
+}

@@ -1,0 +1,10 @@
+// Package rng is the seededrand exemption fixture: its import path
+// matches the repo's randomness package, the one legitimate home for
+// global math/rand touches, so nothing here is reported.
+package rng
+
+import "math/rand"
+
+func Legacy() float64 {
+	return rand.Float64()
+}

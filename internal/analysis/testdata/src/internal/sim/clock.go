@@ -1,0 +1,34 @@
+// Package sim is a detclock fixture: its import path sits inside the
+// determinism-critical list, so wall-clock reads are findings unless a
+// justified //lint:wallclock annotation covers them.
+package sim
+
+import "time"
+
+func bad() {
+	_ = time.Now()               // want `wall clock in determinism-critical package: time\.Now`
+	time.Sleep(time.Millisecond) // want `wall clock in determinism-critical package: time\.Sleep`
+	<-time.After(time.Second)    // want `wall clock in determinism-critical package: time\.After`
+	_ = time.Since(time.Time{})  // want `wall clock in determinism-critical package: time\.Since`
+}
+
+func allowedConstruction() {
+	// Constructors and pure conversions never read the clock.
+	_ = time.NewTimer(time.Second)
+	_ = time.Unix(0, 0)
+	_ = time.Duration(3) * time.Second
+}
+
+func suppressedSameLine() {
+	_ = time.Now() //lint:wallclock fixture clock seam for testing suppression
+}
+
+func suppressedLineAbove() {
+	//lint:wallclock standalone annotation covering the next line
+	_ = time.Now()
+}
+
+func unjustified() {
+	//lint:wallclock // want `//lint:wallclock annotation requires a reason`
+	_ = time.Now() // want `wall clock in determinism-critical package: time\.Now`
+}

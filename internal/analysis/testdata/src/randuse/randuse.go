@@ -1,0 +1,24 @@
+// Package randuse is the seededrand fixture: global math/rand state is a
+// finding in any package, while explicitly seeded generators are fine.
+package randuse
+
+import "math/rand"
+
+func bad() {
+	_ = rand.Float64()    // want `global math/rand state: rand\.Float64`
+	_ = rand.Intn(7)      // want `global math/rand state: rand\.Intn`
+	rand.Seed(42)         // want `global math/rand state: rand\.Seed`
+	rand.Shuffle(3, swap) // want `global math/rand state: rand\.Shuffle`
+	_ = rand.Perm(4)      // want `global math/rand state: rand\.Perm`
+	_ = rand.ExpFloat64() // want `global math/rand state: rand\.ExpFloat64`
+}
+
+func swap(i, j int) {}
+
+func good() {
+	r := rand.New(rand.NewSource(1))
+	_ = r.Float64()
+	_ = r.Intn(7)
+	z := rand.NewZipf(r, 1.1, 1, 100)
+	_ = z.Uint64()
+}

@@ -1,0 +1,62 @@
+// Package syncrename is the syncrename fixture: a function that writes a
+// file and publishes it with os.Rename must Sync() the file first.
+package syncrename
+
+import "os"
+
+func badPublish(path string, data []byte) error {
+	tmp, err := os.CreateTemp(".", "x*")
+	if err != nil {
+		return err
+	}
+	if _, err := tmp.Write(data); err != nil {
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		return err
+	}
+	return os.Rename(tmp.Name(), path) // want `os\.Rename publishes a file this function wrote without a Sync\(\)`
+}
+
+func goodPublish(path string, data []byte) error {
+	tmp, err := os.CreateTemp(".", "x*")
+	if err != nil {
+		return err
+	}
+	if _, err := tmp.Write(data); err != nil {
+		return err
+	}
+	if err := tmp.Sync(); err != nil {
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		return err
+	}
+	return os.Rename(tmp.Name(), path)
+}
+
+// moveOnly renames a file it never wrote — a quarantine-style move with
+// nothing to sync — and is not a finding.
+func moveOnly(from, to string) error {
+	return os.Rename(from, to)
+}
+
+func suppressed(path string, data []byte) error {
+	f, err := os.Create(path + ".tmp")
+	if err != nil {
+		return err
+	}
+	_, _ = f.Write(data)
+	_ = f.Close()
+	return os.Rename(path+".tmp", path) //lint:nosync fixture: scratch artifact, loss on crash acceptable
+}
+
+func bareSuppression(path string, data []byte) error {
+	f, err := os.Create(path + ".tmp")
+	if err != nil {
+		return err
+	}
+	_, _ = f.Write(data)
+	_ = f.Close()
+	return os.Rename(path+".tmp", path) //lint:nosync // want `os\.Rename publishes a file` `//lint:nosync annotation requires a reason`
+}

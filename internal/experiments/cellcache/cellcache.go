@@ -116,11 +116,13 @@ const orphanTmpAge = time.Hour
 // under dir, fronted by a memory tier so repeated lookups within a run
 // never touch the filesystem twice.
 type DiskCache struct {
-	dir     string
-	mem     memory
-	logf    func(format string, args ...interface{})
-	corrupt atomic.Int64
-	orphans int
+	dir      string
+	mem      memory
+	logf     func(format string, args ...interface{})
+	corrupt  atomic.Int64
+	qfailed  atomic.Int64
+	stranded atomic.Int64
+	orphans  int
 }
 
 // Disk returns a cache persisted under dir (created if absent), fronted
@@ -154,7 +156,7 @@ func gcOrphanTmp(dir string) int {
 	if err != nil {
 		return 0
 	}
-	cutoff := time.Now().Add(-orphanTmpAge)
+	cutoff := time.Now().Add(-orphanTmpAge) //lint:wallclock tmp-GC age gate compares file mtimes; hygiene only, never in any measurement
 	n := 0
 	for _, ent := range entries {
 		if ent.IsDir() || !strings.Contains(ent.Name(), ".json.tmp") {
@@ -178,6 +180,20 @@ func (c *DiskCache) SetLogf(logf func(format string, args ...interface{})) { c.l
 // CorruptCount reports how many corrupt disk entries this instance has
 // detected and quarantined.
 func (c *DiskCache) CorruptCount() int64 { return c.corrupt.Load() }
+
+// QuarantineFailCount reports how many corrupt entries could not be
+// moved into the quarantine directory and were removed outright instead.
+// The cache still behaves correctly (the entry degrades to a permanent
+// miss either way), but the bad bytes were lost to post-mortem
+// inspection — a nonzero count on a healthy filesystem means the cache
+// dir's permissions or layout need a look.
+func (c *DiskCache) QuarantineFailCount() int64 { return c.qfailed.Load() }
+
+// StrandedCount reports how many corrupt entries could be neither
+// quarantined nor removed. A stranded entry is the one integrity case
+// the cache cannot make permanent progress on: every future Get of that
+// key will re-read the same corrupt bytes and re-count the corruption.
+func (c *DiskCache) StrandedCount() int64 { return c.stranded.Load() }
 
 // OrphansRemoved reports how many stale temp files open reclaimed.
 func (c *DiskCache) OrphansRemoved() int { return c.orphans }
@@ -243,20 +259,41 @@ func decodeEntry(data []byte) (Measurement, error) {
 // quarantine moves a corrupt entry aside — dir/quarantine/<key>.json — so
 // the miss it degrades to is permanent (the next Get cannot trip over it
 // again) and the bad bytes stay available for inspection. If the move
-// fails the entry is removed outright; either way the corruption is
-// counted and surfaced through the logf observer.
+// fails the entry is removed outright and the failure is counted
+// (QuarantineFailCount) with its cause in the log line — losing the
+// evidence is an integrity event in its own right, not a silent detail.
+// If even the removal fails the entry is stranded (StrandedCount): the
+// cache stays correct (Get keeps reporting a miss) but cannot make the
+// miss permanent. Every outcome is counted and surfaced through the
+// logf observer.
 func (c *DiskCache) quarantine(key string, cause error) {
 	c.corrupt.Add(1)
 	path := c.path(key)
 	qdir := filepath.Join(c.dir, QuarantineDir)
-	moved := "quarantined"
-	if err := os.MkdirAll(qdir, 0o755); err != nil ||
-		os.Rename(path, filepath.Join(qdir, key+".json")) != nil {
-		os.Remove(path)
-		moved = "removed"
+	var mkErr, mvErr error
+	if mkErr = os.MkdirAll(qdir, 0o755); mkErr == nil {
+		mvErr = os.Rename(path, filepath.Join(qdir, key+".json"))
+	}
+	if mkErr == nil && mvErr == nil {
+		if c.logf != nil {
+			c.logf("cellcache: corrupt entry %s quarantined (%v); treating as a miss, will recompute", key, cause)
+		}
+		return
+	}
+	c.qfailed.Add(1)
+	qErr := mkErr
+	if qErr == nil {
+		qErr = mvErr
+	}
+	if rmErr := os.Remove(path); rmErr != nil {
+		c.stranded.Add(1)
+		if c.logf != nil {
+			c.logf("cellcache: corrupt entry %s stranded (%v); quarantine failed (%v) and removal failed (%v)", key, cause, qErr, rmErr)
+		}
+		return
 	}
 	if c.logf != nil {
-		c.logf("cellcache: corrupt entry %s %s (%v); treating as a miss, will recompute", key, moved, cause)
+		c.logf("cellcache: corrupt entry %s removed (%v); quarantine failed: %v", key, cause, qErr)
 	}
 }
 

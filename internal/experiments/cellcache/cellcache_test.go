@@ -161,6 +161,105 @@ func TestDiskFlippedByteQuarantinedAndHealed(t *testing.T) {
 	if got := c3.CorruptCount(); got != 0 {
 		t.Fatalf("healed entry still counted corrupt: %d", got)
 	}
+	if got := c2.QuarantineFailCount(); got != 0 {
+		t.Fatalf("successful quarantine counted as a failure: %d", got)
+	}
+}
+
+// TestDiskQuarantineRenameFailureCountedAndRemoved pins the degraded
+// branch of the quarantine path: when the quarantine directory cannot
+// be created (here a plain file squats on the name), the corrupt entry
+// is removed outright so the miss is still permanent, and the lost
+// evidence is accounted — QuarantineFailCount increments and the log
+// line names the cause — instead of being silently folded into the
+// happy path.
+func TestDiskQuarantineRenameFailureCountedAndRemoved(t *testing.T) {
+	dir := t.TempDir()
+	c, err := Disk(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, key+".json")
+	if err := os.WriteFile(path, []byte("{torn"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	// A plain file named "quarantine" makes MkdirAll fail with ENOTDIR —
+	// even for root, unlike permission-based setups.
+	if err := os.WriteFile(filepath.Join(dir, QuarantineDir), []byte("squatter"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var logged []string
+	c.SetLogf(func(format string, args ...interface{}) {
+		logged = append(logged, fmt.Sprintf(format, args...))
+	})
+
+	if _, ok := c.Get(key); ok {
+		t.Fatal("corrupt entry reported a hit")
+	}
+	if got := c.CorruptCount(); got != 1 {
+		t.Fatalf("CorruptCount = %d, want 1", got)
+	}
+	if got := c.QuarantineFailCount(); got != 1 {
+		t.Fatalf("QuarantineFailCount = %d, want 1", got)
+	}
+	if got := c.StrandedCount(); got != 0 {
+		t.Fatalf("StrandedCount = %d, want 0 (removal succeeded)", got)
+	}
+	if _, err := os.Stat(path); !os.IsNotExist(err) {
+		t.Fatalf("corrupt entry still live after failed quarantine (%v)", err)
+	}
+	if len(logged) != 1 || !strings.Contains(logged[0], "quarantine failed") ||
+		!strings.Contains(logged[0], "removed") {
+		t.Fatalf("quarantine failure not surfaced with its cause: %q", logged)
+	}
+
+	// The miss is permanent and the key heals like any other: the next
+	// Put restores a verifiable entry even with the quarantine dir still
+	// blocked.
+	c.Put(key, sample)
+	c2, err := Disk(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m, ok := c2.Get(key); !ok || m != sample {
+		t.Fatalf("healed entry = %+v, %v; want %+v, true", m, ok, sample)
+	}
+}
+
+// TestDiskQuarantineStrandedEntryCounted drives the last-resort branch:
+// quarantine blocked and the entry itself unremovable (a non-empty
+// directory squatting on the entry name defeats os.Remove even for
+// root). The cache cannot make the miss permanent, so it must say so:
+// StrandedCount increments and the log line carries both failures.
+func TestDiskQuarantineStrandedEntryCounted(t *testing.T) {
+	dir := t.TempDir()
+	c, err := Disk(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, QuarantineDir), []byte("squatter"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, key+".json")
+	if err := os.MkdirAll(filepath.Join(path, "pin"), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	var logged []string
+	c.SetLogf(func(format string, args ...interface{}) {
+		logged = append(logged, fmt.Sprintf(format, args...))
+	})
+
+	c.quarantine(key, fmt.Errorf("synthetic corruption"))
+
+	if got := c.QuarantineFailCount(); got != 1 {
+		t.Fatalf("QuarantineFailCount = %d, want 1", got)
+	}
+	if got := c.StrandedCount(); got != 1 {
+		t.Fatalf("StrandedCount = %d, want 1", got)
+	}
+	if len(logged) != 1 || !strings.Contains(logged[0], "stranded") {
+		t.Fatalf("stranded entry not surfaced: %q", logged)
+	}
 }
 
 // TestDiskGCOrphanTmpFiles: temp files a crashed writer left behind are

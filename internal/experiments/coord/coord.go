@@ -49,7 +49,9 @@ type Clock interface {
 
 type systemClock struct{}
 
-func (systemClock) Now() time.Time { return time.Now() }
+func (systemClock) Now() time.Time {
+	return time.Now() //lint:wallclock the injectable clock seam itself; every other read goes through Clock
+}
 
 // SystemClock returns the wall clock.
 func SystemClock() Clock { return systemClock{} }
@@ -254,18 +256,18 @@ type Coordinator struct {
 	// Submit and Complete append — and fsync — before mutating state, so
 	// anything the coordinator has acknowledged is replayable after a
 	// crash. See journal.go.
-	journal *Journal
+	journal *Journal // guarded by mu
 	// draining refuses new leases (graceful shutdown: in-flight completes
 	// still merge, heartbeats still answer, but no new work goes out).
-	draining bool
-	jobs     map[string]*Job // by ConfigHash
-	order    []*Job          // submission order, for fair lease scanning
-	leases   map[string]*lease
+	draining bool              // guarded by mu
+	jobs     map[string]*Job   // guarded by mu; by ConfigHash
+	order    []*Job            // guarded by mu; submission order, for fair lease scanning
+	leases   map[string]*lease // guarded by mu
 	// expired remembers revoked/expired lease IDs (and the job they
 	// belonged to, so finalizing a job reclaims its tombstones) to tell a
 	// late heartbeat "expired" rather than "unknown".
-	expired map[string]*Job
-	seq     uint64
+	expired map[string]*Job // guarded by mu
+	seq     uint64          // guarded by mu
 }
 
 // New builds a Coordinator.
@@ -666,7 +668,7 @@ func (c *Coordinator) ExpireLoop(ctx context.Context, interval time.Duration) {
 // expireLocked reclaims leases at or past deadline: a lease is valid
 // strictly before its deadline and expired exactly at it, so "missed
 // heartbeat expires at the deadline" is a sharp boundary the property
-// tests pin down to the nanosecond.
+// tests pin down to the nanosecond. The caller holds c.mu.
 func (c *Coordinator) expireLocked(now time.Time) int {
 	n := 0
 	for id, l := range c.leases {
@@ -685,7 +687,8 @@ func (c *Coordinator) expireLocked(now time.Time) int {
 }
 
 // revokeLocked retires a live lease whose shard completed through another
-// path; the holder's next heartbeat reports ErrLeaseExpired.
+// path; the holder's next heartbeat reports ErrLeaseExpired. The caller
+// holds c.mu.
 func (c *Coordinator) revokeLocked(id string) {
 	if l, ok := c.leases[id]; ok {
 		delete(c.leases, id)
@@ -695,7 +698,8 @@ func (c *Coordinator) revokeLocked(id string) {
 
 // finalizeLocked assembles and normalizes the merged grid and closes done.
 // Tombstoned lease IDs of the finished job are reclaimed so a long-lived
-// daemon's expired-set stays proportional to its *active* jobs.
+// daemon's expired-set stays proportional to its *active* jobs. The caller
+// holds c.mu.
 func (c *Coordinator) finalizeLocked(j *Job) {
 	j.result, j.err = shard.Assemble(j.grid, j.Spec.Variants, j.got)
 	for id, owner := range c.expired {

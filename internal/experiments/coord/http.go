@@ -3,21 +3,24 @@ package coord
 import (
 	"bytes"
 	"context"
+	crand "crypto/rand"
+	"encoding/binary"
 	"encoding/json"
 	"errors"
 	"fmt"
 	"io"
-	"math/rand"
 	"net"
 	"net/http"
 	"net/url"
 	"os"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"readretry/internal/experiments"
 	"readretry/internal/experiments/shard"
+	"readretry/internal/rng"
 )
 
 // The coordinator protocol is five JSON-over-HTTP endpoints (DESIGN.md
@@ -331,16 +334,48 @@ type RetryPolicy struct {
 	// is min(BaseDelay·2ⁿ, MaxDelay), jittered down by up to half.
 	BaseDelay time.Duration
 	MaxDelay  time.Duration
-	// Jitter returns a uniform float64 in [0,1); nil uses math/rand. Fixed
+	// Jitter returns a uniform float64 in [0,1); nil draws from a
+	// locally seeded source created on first use — never math/rand's
+	// global state, so two clients' backoff schedules are independent
+	// and no other subsystem's random sequence is perturbed. Fixed
 	// functions make backoff schedules deterministic in tests.
 	Jitter func() float64
+}
+
+// jitterSalt decorrelates fallback jitter seeds when crypto entropy is
+// unavailable: each newJitter takes the next Weyl-sequence increment.
+var jitterSalt atomic.Uint64
+
+// newJitter returns an independent uniform-[0,1) stream for one client's
+// backoff. Each call builds its own rng.Source (seeded from crypto
+// entropy, falling back to a process-local Weyl counter), so clients
+// share no state with each other or with any simulation stream; the
+// closure serializes draws for concurrent retries.
+func newJitter() func() float64 {
+	var b [8]byte
+	seed := jitterSalt.Add(0x9e3779b97f4a7c15)
+	if _, err := crand.Read(b[:]); err == nil {
+		seed ^= binary.LittleEndian.Uint64(b[:])
+	}
+	src := rng.New(seed)
+	var mu sync.Mutex
+	return func() float64 {
+		mu.Lock()
+		defer mu.Unlock()
+		return src.Float64()
+	}
 }
 
 // DefaultRetry is the policy NewClient installs: four attempts spanning
 // roughly a second of backoff, enough to ride out a coordinator restart
 // without masking a real outage for long.
 func DefaultRetry() RetryPolicy {
-	return RetryPolicy{Attempts: 4, BaseDelay: 100 * time.Millisecond, MaxDelay: 2 * time.Second}
+	return RetryPolicy{
+		Attempts:  4,
+		BaseDelay: 100 * time.Millisecond,
+		MaxDelay:  2 * time.Second,
+		Jitter:    newJitter(),
+	}
 }
 
 // delay computes the jittered backoff before retry attempt (0-based).
@@ -357,7 +392,11 @@ func (p RetryPolicy) delay(attempt int) time.Duration {
 	}
 	jitter := p.Jitter
 	if jitter == nil {
-		jitter = rand.Float64
+		// A hand-built policy without a source: draw from a fresh
+		// locally seeded one. Costlier per retry than the memoized
+		// DefaultRetry closure, but retries are rare and the global
+		// math/rand state stays untouched.
+		jitter = newJitter()
 	}
 	// Uniform in [d/2, d): full pressure never lands in lockstep.
 	return d/2 + time.Duration(jitter()*float64(d/2))

@@ -1,0 +1,136 @@
+package coord
+
+// Backoff-jitter suite: pins the fix for the retry-jitter determinism
+// bug where delay() drew from math/rand's global source — perturbing
+// every other consumer of that stream and entangling the backoff
+// schedules of unrelated clients. The policy now builds a locally
+// seeded source per client; these tests pin the independence, the
+// range contract, and the delay bounds.
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+// drawN pulls n values from a jitter stream.
+func drawN(jitter func() float64, n int) []float64 {
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = jitter()
+	}
+	return out
+}
+
+// TestDefaultRetryJitterStreamsIndependent builds two clients' policies
+// and checks their jitter streams are distinct sources: every draw is a
+// uniform in [0,1), and the two sequences differ (two independently
+// seeded xoshiro streams collide on an 8-draw prefix with probability
+// ~2⁻⁴²⁴; the shared-global-state bug made them interleave one
+// sequence). A third policy drawn *after* exhausting the first two must
+// still produce a fresh stream — the seeds come from crypto entropy
+// XOR a Weyl counter, not from anything the earlier draws advanced.
+func TestDefaultRetryJitterStreamsIndependent(t *testing.T) {
+	a := DefaultRetry()
+	b := DefaultRetry()
+	if a.Jitter == nil || b.Jitter == nil {
+		t.Fatal("DefaultRetry must install a jitter source")
+	}
+
+	const n = 8
+	seqA := drawN(a.Jitter, n)
+	seqB := drawN(b.Jitter, n)
+	for i := 0; i < n; i++ {
+		for name, v := range map[string]float64{"a": seqA[i], "b": seqB[i]} {
+			if v < 0 || v >= 1 {
+				t.Fatalf("client %s draw %d = %v, want uniform in [0,1)", name, i, v)
+			}
+		}
+	}
+
+	same := true
+	for i := 0; i < n; i++ {
+		if seqA[i] != seqB[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatalf("two DefaultRetry clients produced identical jitter prefixes %v — shared state", seqA)
+	}
+
+	c := DefaultRetry()
+	seqC := drawN(c.Jitter, n)
+	if seqC[0] == seqA[n-1] || seqC[0] == seqB[n-1] {
+		t.Fatalf("third client's stream continues an earlier client's sequence: %v", seqC[0])
+	}
+}
+
+// TestJitterStreamConcurrentDraws hammers one policy's stream from many
+// goroutines: the closure serializes draws, so under -race this passes
+// clean and every value stays in range.
+func TestJitterStreamConcurrentDraws(t *testing.T) {
+	p := DefaultRetry()
+	var wg sync.WaitGroup
+	errs := make(chan float64, 8*128)
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 128; i++ {
+				if v := p.Jitter(); v < 0 || v >= 1 {
+					errs <- v
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for v := range errs {
+		t.Errorf("concurrent draw out of range: %v", v)
+	}
+}
+
+// TestDelayBounds pins delay()'s contract: uniform in [base·2ⁿ/2,
+// base·2ⁿ) capped at MaxDelay, exact at the jitter extremes.
+func TestDelayBounds(t *testing.T) {
+	base := 100 * time.Millisecond
+	max := 2 * time.Second
+	for attempt := 0; attempt < 6; attempt++ {
+		full := base
+		for i := 0; i < attempt && full < max; i++ {
+			full *= 2
+		}
+		if full > max {
+			full = max
+		}
+
+		lo := RetryPolicy{BaseDelay: base, MaxDelay: max, Jitter: func() float64 { return 0 }}
+		if got := lo.delay(attempt); got != full/2 {
+			t.Errorf("attempt %d: zero-jitter delay = %v, want %v", attempt, got, full/2)
+		}
+		hi := RetryPolicy{BaseDelay: base, MaxDelay: max, Jitter: func() float64 { return 0.999999 }}
+		if got := hi.delay(attempt); got < full/2 || got >= full {
+			t.Errorf("attempt %d: max-jitter delay = %v, want in [%v, %v)", attempt, got, full/2, full)
+		}
+	}
+}
+
+// TestDelayNilJitterFallsBackToLocalSource checks that a hand-built
+// policy with no Jitter still gets a locally seeded draw: the delay
+// lands in [d/2, d) and repeated calls are not constant (a frozen
+// fallback would retry in lockstep).
+func TestDelayNilJitterFallsBackToLocalSource(t *testing.T) {
+	p := RetryPolicy{BaseDelay: time.Second, MaxDelay: time.Second}
+	seen := make(map[time.Duration]bool)
+	for i := 0; i < 32; i++ {
+		d := p.delay(0)
+		if d < 500*time.Millisecond || d >= time.Second {
+			t.Fatalf("fallback delay %v outside [500ms, 1s)", d)
+		}
+		seen[d] = true
+	}
+	if len(seen) < 2 {
+		t.Fatalf("32 fallback delays collapsed to %d distinct value(s)", len(seen))
+	}
+}

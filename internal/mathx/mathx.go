@@ -59,10 +59,10 @@ var ErrNoBracket = errors.New("mathx: root not bracketed")
 // f(lo) and f(hi) must have opposite signs.
 func Bisect(f func(float64) float64, lo, hi, tol float64) (float64, error) {
 	flo, fhi := f(lo), f(hi)
-	if flo == 0 {
+	if flo == 0 { //lint:floateq exact-root short-circuit; any nonzero residual proceeds to bisection
 		return lo, nil
 	}
-	if fhi == 0 {
+	if fhi == 0 { //lint:floateq exact-root short-circuit; any nonzero residual proceeds to bisection
 		return hi, nil
 	}
 	if (flo > 0) == (fhi > 0) {
@@ -71,7 +71,7 @@ func Bisect(f func(float64) float64, lo, hi, tol float64) (float64, error) {
 	for hi-lo > tol {
 		mid := lo + (hi-lo)/2
 		fm := f(mid)
-		if fm == 0 {
+		if fm == 0 { //lint:floateq exact-root short-circuit; bisection converges via the tol loop otherwise
 			return mid, nil
 		}
 		if (fm > 0) == (flo > 0) {

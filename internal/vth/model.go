@@ -58,7 +58,7 @@ func NewModel(p Params, seed uint64) *Model {
 	kind := p.kind()
 	ratio := float64(kind.ReadOffsets()) / float64(nand.TLC.ReadOffsets())
 	effSep := p.FreshSeparation
-	if ratio != 1 {
+	if ratio != 1 { //lint:floateq ratio is exactly 1.0 for TLC by construction (7/7); the guard keeps TLC bit-identical to the pre-abstraction model
 		effSep /= ratio
 	}
 	return &Model{
@@ -122,7 +122,7 @@ func (m *Model) Drift(c Condition) float64 {
 	// read offsets: the drift polynomials are calibrated on TLC's 7-offset
 	// window, so non-TLC kinds steepen by the spacing ratio. Guarded so the
 	// TLC computation stays byte-identical to the pre-abstraction model.
-	if m.spacingRatio != 1 {
+	if m.spacingRatio != 1 { //lint:floateq exactly 1.0 for TLC by construction; multiplying would perturb the bit-identical TLC stream
 		drift *= m.spacingRatio
 	}
 	return drift
@@ -132,7 +132,7 @@ func (m *Model) Drift(c Condition) float64 {
 // steps, including block- and page-level process variation and jitter.
 func (m *Model) PageDrift(pg PageID, c Condition) float64 {
 	mean := m.Drift(c)
-	if mean == 0 {
+	if mean == 0 { //lint:floateq Drift returns an exact 0 for a fresh page (no arithmetic); sentinel skips the variate draw
 		return 0
 	}
 	blockU, pageU, jitterU, _ := m.pageRand(pg)
@@ -192,7 +192,7 @@ func tempFrac(tempC float64) float64 {
 // the worst condition, smaller when the page is healthy).
 func (m *Model) TempAdd(c Condition) int {
 	f := tempFrac(c.TempC)
-	if f == 0 {
+	if f == 0 { //lint:floateq tempFrac returns an exact 0 at/above the envelope; sentinel means no low-temperature penalty
 		return 0
 	}
 	driftSat := mathx.Clamp(m.Drift(c)/20, 0, 1)

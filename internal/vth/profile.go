@@ -80,7 +80,7 @@ func (p *ConditionProfile) MeanDrift() float64 { return p.meanDrift }
 
 // pageDrift is PageDrift given the page's already-drawn variates.
 func (p *ConditionProfile) pageDrift(blockU, pageU, jitterU float64) float64 {
-	if p.meanDrift == 0 {
+	if p.meanDrift == 0 { //lint:floateq mirrors Model.PageDrift's exact-0 sentinel; both paths must stay bit-identical
 		return 0
 	}
 	blockF := 1 + p.m.p.BlockFactorSpread*(2*blockU-1)
