@@ -624,13 +624,18 @@ func BenchmarkReadPath(b *testing.B) {
 // BenchmarkSweepCell measures one full Figure 14 sweep cell at default
 // evaluation scale (2,500 requests against the experiment-scale device) —
 // the unit of work the sweep engine fans out — through the fast and
-// reference read paths.
+// reference read paths. The fast-metrics sub-benchmark is the fast cell
+// with per-block retry accounting enabled; its ns/op must stay within 2%
+// of plain fast (the metrics layer is two memoized plan lookups and a few
+// array writes per read), and scripts/bench.sh records the pair so the
+// overhead is checked against BENCH_PR10.json.
 func BenchmarkSweepCell(b *testing.B) {
-	bench := func(b *testing.B, fast bool) {
+	bench := func(b *testing.B, fast, metrics bool) {
 		cfg := ssd.ExperimentConfig()
 		cfg.PEC, cfg.RetentionMonths = 2000, 12
 		cfg.Scheme = core.PnAR2
 		cfg.DisableReadFastPath = !fast
+		cfg.RetryMetrics = metrics
 		spec, err := workload.ByName("YCSB-C")
 		if err != nil {
 			b.Fatal(err)
@@ -654,8 +659,9 @@ func BenchmarkSweepCell(b *testing.B) {
 			}
 		}
 	}
-	b.Run("fast", func(b *testing.B) { bench(b, true) })
-	b.Run("slow", func(b *testing.B) { bench(b, false) })
+	b.Run("fast", func(b *testing.B) { bench(b, true, false) })
+	b.Run("fast-metrics", func(b *testing.B) { bench(b, true, true) })
+	b.Run("slow", func(b *testing.B) { bench(b, false, false) })
 }
 
 func BenchmarkVthModelRead(b *testing.B) {

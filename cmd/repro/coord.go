@@ -75,7 +75,7 @@ type figureSweep struct {
 func selectedSweeps(cfg experiments.Config, add func(figure, quantity, paper, measured string)) []figureSweep {
 	var figs []figureSweep
 	if want("fig14") {
-		figs = append(figs, figureSweep{"fig14", experiments.Figure14Variants(), func(res *experiments.Result) {
+		figs = append(figs, figureSweep{"fig14", fig14Variants(), func(res *experiments.Result) {
 			header("Figure 14: SSD response time (normalized to Baseline)")
 			renderFig14(res, cfg, add)
 		}})
@@ -223,6 +223,10 @@ func runServeMode(cfg experiments.Config, figs []figureSweep) error {
 			finish()
 			return err
 		}
+		if err := writeFigureMetricsCSV(o.fig.name, res); err != nil {
+			finish()
+			return err
+		}
 	}
 
 	// Drain externally submitted jobs before going away; a fresh snapshot
@@ -276,6 +280,9 @@ func runSubmitMode(cfg experiments.Config, figs []figureSweep) error {
 		}
 		f.render(res)
 		if err := writeFigureCSV(f.name, res); err != nil {
+			return err
+		}
+		if err := writeFigureMetricsCSV(f.name, res); err != nil {
 			return err
 		}
 	}

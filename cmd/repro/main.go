@@ -13,6 +13,8 @@
 //	repro -temps 25,55,85  # cross the condition grid with a temperature axis
 //	repro -device qlc16    # run the sweeps on the QLC device preset
 //	repro -device tlc,qlc16  # cross the condition grid with a device axis
+//	repro -retry-metrics -csv out  # also stream out/fig14.metrics.csv (per-block retry accounting)
+//	repro -history         # add the history-seeded PnAR2+H column to the fig14 grid
 //
 // The Figure 14/15 sweeps can be distributed across processes (even
 // machines sharing a filesystem) through the shard subsystem; every mode
@@ -70,6 +72,9 @@ var (
 	cpuProf  = flag.String("cpuprofile", "", "write a CPU profile to this file (pprof format), so perf work can attribute wins")
 	memProf  = flag.String("memprofile", "", "write a heap profile to this file at exit (pprof format)")
 
+	retryMetrics = flag.Bool("retry-metrics", false, "collect per-block retry accounting during the Figure 14/15 sweeps; with -csv, streams <figure>.metrics.csv beside the sweep CSV (observational only: latencies are bit-identical either way)")
+	history      = flag.Bool("history", false, "add the PnAR2+H column — PnAR2 with each block's ladder start seeded from its last successful retry outcome — to the Figure 14 grid")
+
 	shards      = flag.Int("shards", 0, "partition the Figure 14/15 grids into this many round-robin shards and run only -shard-index (requires -cache-dir)")
 	shardIndex  = flag.Int("shard-index", 0, "which shard to run when -shards is set (0-based)")
 	mergeFlag   = flag.Bool("merge", false, "merge completed shard outputs from -cache-dir instead of simulating; fails listing the missing cells if any shard has not finished")
@@ -109,6 +114,29 @@ func csvSinkFor(name string, cfg experiments.Config) (experiments.CellSink, func
 	return sink, f.Close, nil
 }
 
+// metricsSinkFor opens dir/<name>.metrics.csv beside the sweep CSV when
+// both -csv and -retry-metrics are set — the per-cell retry-metrics stream,
+// row-by-row in the same canonical order as the sweep CSV. Without both
+// flags it returns a nil sink.
+func metricsSinkFor(name string, cfg experiments.Config) (experiments.CellSink, func() error, error) {
+	if *csvDir == "" || !*retryMetrics {
+		return nil, func() error { return nil }, nil
+	}
+	if err := os.MkdirAll(*csvDir, 0o755); err != nil {
+		return nil, nil, err
+	}
+	f, err := os.Create(filepath.Join(*csvDir, name+".metrics.csv"))
+	if err != nil {
+		return nil, nil, err
+	}
+	sink, err := experiments.NewMetricsCSVSinkFor(cfg, f)
+	if err != nil {
+		f.Close()
+		return nil, nil, err
+	}
+	return sink, f.Close, nil
+}
+
 // writeFigureCSV writes a complete grid to -csv's dir/<name>.csv. The grid
 // being complete, the buffered encoder writes the same bytes the streaming
 // sink would have — the property the distributed modes' byte-identity
@@ -129,6 +157,41 @@ func writeFigureCSV(name string, res *experiments.Result) error {
 		return err
 	}
 	return f.Close()
+}
+
+// writeFigureMetricsCSV is writeFigureCSV's retry-metrics counterpart: the
+// buffered encoder over a merged grid writes the same bytes the streaming
+// metrics sink would have, because the retry digest travels losslessly
+// through the cell cache and shard records. A no-op unless both -csv and
+// -retry-metrics are set.
+func writeFigureMetricsCSV(name string, res *experiments.Result) error {
+	if *csvDir == "" || !*retryMetrics {
+		return nil
+	}
+	if err := os.MkdirAll(*csvDir, 0o755); err != nil {
+		return err
+	}
+	f, err := os.Create(filepath.Join(*csvDir, name+".metrics.csv"))
+	if err != nil {
+		return err
+	}
+	if err := res.WriteMetricsCSV(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// fig14Variants returns the Figure 14 columns, appending the
+// history-seeded ladder variant under -history. Every mode — direct,
+// shard, merge, spawn, networked — derives the grid from this one
+// function, so the config hash and cache keys agree across processes.
+func fig14Variants() []experiments.Variant {
+	vs := experiments.Figure14Variants()
+	if *history {
+		vs = append(vs, experiments.HistoryVariant())
+	}
+	return vs
 }
 
 // parseTemps converts the -temps flag into a temperature axis.
@@ -265,6 +328,9 @@ func runSweepFigure(name string, cfg experiments.Config, variants []experiments.
 		if err := writeFigureCSV(name, res); err != nil {
 			return nil, err
 		}
+		if err := writeFigureMetricsCSV(name, res); err != nil {
+			return nil, err
+		}
 		return res, nil
 
 	default:
@@ -276,12 +342,20 @@ func runSweepFigure(name string, cfg experiments.Config, variants []experiments.
 			return nil, err
 		}
 		cfg.Sink = sink
+		msink, closeMetrics, err := metricsSinkFor(name, cfg)
+		if err != nil {
+			return nil, err
+		}
+		cfg.MetricsSink = msink
 		res, err := experiments.RunSweep(context.Background(), cfg, variants)
 		if err != nil {
 			return nil, err
 		}
 		if err := closeCSV(); err != nil {
 			return nil, fmt.Errorf("csv: %w", err)
+		}
+		if err := closeMetrics(); err != nil {
+			return nil, fmt.Errorf("metrics csv: %w", err)
 		}
 		return res, nil
 	}
@@ -321,6 +395,12 @@ func spawnShardChildren(n int) error {
 	}
 	if *device != "" {
 		base = append(base, "-device", *device)
+	}
+	if *retryMetrics {
+		base = append(base, "-retry-metrics")
+	}
+	if *history {
+		base = append(base, "-history")
 	}
 	cmds := make([]*exec.Cmd, n)
 	for i := range cmds {
@@ -666,6 +746,9 @@ func main() {
 		default:
 			cfg.Devices = devs
 		}
+		// After any single-device reconfiguration so the flag survives it;
+		// multi-device grids apply presets per cell over this same Base.
+		cfg.Base.RetryMetrics = *retryMetrics
 		if *cacheDir != "" {
 			// The disk tier makes re-runs incremental; within one
 			// invocation it also lets fig15 reuse fig14's Baseline and
@@ -704,7 +787,7 @@ func main() {
 			if *shards == 0 {
 				header("Figure 14: SSD response time (normalized to Baseline)")
 			}
-			res, err := runSweepFigure("fig14", cfg, experiments.Figure14Variants())
+			res, err := runSweepFigure("fig14", cfg, fig14Variants())
 			if err != nil {
 				fmt.Fprintf(os.Stderr, "repro: fig14: %v\n", err)
 				os.Exit(1)
@@ -752,6 +835,14 @@ func renderFig14(res *experiments.Result, cfg experiments.Config, add func(figur
 		fmt.Sprintf("%.1f%% / %.1f%%", arAvg*100, arMax*100))
 	add("Fig 14", "PnAR2 response-time reduction (avg / max)", "28.9% / 51.8%",
 		fmt.Sprintf("%.1f%% / %.1f%%", bothAvg*100, bothMax*100))
+	for _, name := range res.Configs {
+		if name == "PnAR2+H" {
+			hAvg, hMax := res.Reduction("PnAR2+H", "Baseline", false)
+			add("Fig 14", "PnAR2+H (history-seeded ladder) reduction (avg / max)",
+				"(beyond paper)", fmt.Sprintf("%.1f%% / %.1f%%", hAvg*100, hMax*100))
+			break
+		}
+	}
 	if !cfg.HasTemperatureAxis() && !cfg.HasDeviceAxis() {
 		// The paper quotes the bare (2K, 6mo) point; under -temps or a
 		// multi-device -device that exact condition is not in the grid

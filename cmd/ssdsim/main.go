@@ -25,6 +25,8 @@ func main() {
 	traceFile := flag.String("trace", "", "MSR-format trace file (overrides -workload)")
 	schemeName := flag.String("scheme", "Baseline", "Baseline, PR2, AR2, PnAR2, or NoRR")
 	usePSO := flag.Bool("pso", false, "layer the PSO step-reduction baseline (§7.3)")
+	retryMetrics := flag.Bool("retry-metrics", false, "collect per-block retry accounting and append it to the report (observational only)")
+	useHistory := flag.Bool("history", false, "seed each block's retry-ladder start from its last successful retry outcome")
 	pec := flag.Int("pec", 1000, "preconditioned P/E cycles")
 	months := flag.Float64("months", 6, "preconditioned retention age (months)")
 	temp := flag.Float64("temp", 30, "operating temperature (°C)")
@@ -48,6 +50,8 @@ func main() {
 	cfg.RetentionMonths = *months
 	cfg.TempC = *temp
 	cfg.Seed = *seed
+	cfg.RetryMetrics = *retryMetrics
+	cfg.UseRetryHistory = *useHistory
 
 	var recs []trace.Record
 	if *traceFile != "" {
@@ -82,6 +86,9 @@ func main() {
 	fmt.Printf("configuration   : %v", scheme)
 	if *usePSO {
 		fmt.Print(" + PSO")
+	}
+	if *useHistory {
+		fmt.Print(" + history")
 	}
 	fmt.Printf("  @ (%dK P/E, %gmo, %g°C)\n", *pec/1000, *months, *temp)
 	st.WriteReport(os.Stdout)

@@ -128,6 +128,12 @@ func (c *Chip) Timing() nand.Timing { return c.timing }
 // Model returns the underlying error model.
 func (c *Chip) Model() *vth.Model { return c.model }
 
+// LadderSteps returns the retry ladder's length — the largest step count any
+// read of this chip can report (failed reads exhaust the ladder). Sizing a
+// retry-step histogram to LadderSteps()+1 buckets therefore covers every
+// possible outcome without mid-run growth.
+func (c *Chip) LadderSteps() int { return c.model.Params().MaxLadderSteps }
+
 // Index returns the chip's position in its fleet.
 func (c *Chip) Index() int { return c.index }
 

@@ -160,12 +160,22 @@ type Plan struct {
 	// produced). Plans from BuildPlan are always finalized.
 	succOff []int32
 	succ    []int32
+
+	// kindDur totals the plan's operation durations by OpKind, computed by
+	// Finalize. Memoized plans (plancache) therefore carry their latency
+	// attribution for free: the retry-metrics layer reads KindTotal per
+	// executed read without walking Ops.
+	kindDur [OpReset + 1]sim.Time
 }
 
 // Finalize computes the plan's dependents adjacency. BuildPlan calls it on
 // every plan it emits; hand-constructed plans must call it before being
 // handed to an executor that uses Dependents.
 func (p *Plan) Finalize() {
+	p.kindDur = [OpReset + 1]sim.Time{}
+	for _, op := range p.Ops {
+		p.kindDur[op.Kind] += op.Dur
+	}
 	n := len(p.Ops)
 	p.succOff = make([]int32, n+1)
 	total := 0
@@ -202,6 +212,12 @@ func (p *Plan) Finalize() {
 // aliases the plan's finalized adjacency and must not be modified.
 func (p *Plan) Dependents(i int) []int32 {
 	return p.succ[p.succOff[i]:p.succOff[i+1]]
+}
+
+// KindTotal returns the plan's total operation duration of kind k — resource
+// occupancy, not critical path. Valid on finalized plans.
+func (p *Plan) KindTotal(k OpKind) sim.Time {
+	return p.kindDur[k]
 }
 
 // Latency returns the uncontended makespan from plan start to host

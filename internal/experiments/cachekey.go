@@ -16,17 +16,21 @@ import (
 // "the Base.TempC this key already hashes" rather than "the only
 // possibility". v3 added the condition's device preset for the same
 // reason: a v2 entry never saw a device, so it must not alias any cell of
-// a device-axis grid, including the unset-device cells.
-const cacheKeySchema = "readretry-cell-v3"
+// a device-axis grid, including the unset-device cells. v4 added the
+// variant's history-policy flag to the hashed fields *and* grew the cached
+// payload (Measurement.Retry): a v3 entry neither distinguishes a
+// history-seeded column from its plain counterpart nor carries the retry
+// digest a metrics-enabled sweep renders, so it must satisfy no v4 lookup.
+const cacheKeySchema = "readretry-cell-v4"
 
 // cellKey derives the content address of one sweep cell: a lowercase hex
 // SHA-256 over everything the cell's measurement is a function of —
 // the workload name, the operating condition (PEC, retention age, the
 // cell's temperature override — 0 when it inherits Base.TempC — and the
 // cell's device preset, empty when it runs the Base template), the
-// variant's behavior (scheme and PSO; the display Name is deliberately
-// excluded, so renaming a column keeps its cells), the trace shape (Seed,
-// Requests, IOPS), and the full device template. The device config is
+// variant's behavior (scheme, PSO, and the history policy; the display
+// Name is deliberately excluded, so renaming a column keeps its cells),
+// the trace shape (Seed, Requests, IOPS), and the full device template. The device config is
 // folded in via its JSON encoding, which is deterministic for ssd.Config's
 // plain value fields; any field change — geometry, timing, ECC, model
 // params, scheduler toggles — therefore changes the key.
@@ -76,7 +80,7 @@ func ConfigHash(cfg Config, variants []Variant) (string, error) {
 		fmt.Fprintf(h, "c\x00%d\x00%g\x00%g\x00%s\x00", c.PEC, c.Months, c.TempC, c.Device)
 	}
 	for _, v := range g.Variants {
-		fmt.Fprintf(h, "v\x00%s\x00%d\x00%t\x00", v.Name, v.Scheme, v.PSO)
+		fmt.Fprintf(h, "v\x00%s\x00%d\x00%t\x00%t\x00", v.Name, v.Scheme, v.PSO, v.History)
 	}
 	fmt.Fprintf(h, "t\x00%d\x00%d\x00%g\x00", cfg.Seed, cfg.Requests, cfg.IOPS)
 	h.Write(dev)
@@ -92,8 +96,8 @@ func cellKeyWithSchema(schema string, cfg Config, wl string, cond Condition, v V
 		return "", fmt.Errorf("experiments: hashing device config: %w", err)
 	}
 	h := sha256.New()
-	fmt.Fprintf(h, "%s\x00%s\x00%d\x00%g\x00%g\x00%s\x00%d\x00%t\x00%d\x00%d\x00%g\x00",
-		schema, wl, cond.PEC, cond.Months, cond.TempC, cond.Device, v.Scheme, v.PSO,
+	fmt.Fprintf(h, "%s\x00%s\x00%d\x00%g\x00%g\x00%s\x00%d\x00%t\x00%t\x00%d\x00%d\x00%g\x00",
+		schema, wl, cond.PEC, cond.Months, cond.TempC, cond.Device, v.Scheme, v.PSO, v.History,
 		cfg.Seed, cfg.Requests, cfg.IOPS)
 	h.Write(dev)
 	return hex.EncodeToString(h.Sum(nil)), nil

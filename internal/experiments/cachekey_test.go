@@ -181,6 +181,67 @@ func TestSchemaBumpInvalidatesPreDeviceEntries(t *testing.T) {
 	}
 }
 
+// v3CellKey replicates the pre-history ("readretry-cell-v3") key
+// derivation exactly as PR 8 shipped it: Device hashed, no History flag,
+// v3 schema tag.
+func v3CellKey(t *testing.T, cfg Config, wl string, cond Condition, v Variant) string {
+	t.Helper()
+	dev, err := json.Marshal(cfg.Base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := sha256.New()
+	fmt.Fprintf(h, "%s\x00%s\x00%d\x00%g\x00%g\x00%s\x00%d\x00%t\x00%d\x00%d\x00%g\x00",
+		"readretry-cell-v3", wl, cond.PEC, cond.Months, cond.TempC, cond.Device,
+		v.Scheme, v.PSO, cfg.Seed, cfg.Requests, cfg.IOPS)
+	h.Write(dev)
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// TestSchemaBumpInvalidatesPreHistoryEntries poisons a disk cache with
+// entries stored under the v3 (pre-history) keys of every cell in the grid
+// and proves none satisfies a v4 lookup. v4 entries differ from v3 two
+// ways — the variant's History flag joined the hashed fields, and the
+// cached payload grew the retry digest — so serving a v3 entry could both
+// alias PnAR2 with PnAR2+H and hand a metrics-enabled sweep a digest-less
+// measurement.
+func TestSchemaBumpInvalidatesPreHistoryEntries(t *testing.T) {
+	cfg := tinySweepConfig(7)
+	cfg.Parallelism = 4
+	cache, err := cellcache.Disk(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	variants := append(Figure14Variants(), HistoryVariant())
+	poison := cellcache.Measurement{Mean: 1, MeanRead: 1, P99Read: 1, RetrySteps: 1}
+	for _, wl := range cfg.Workloads {
+		for _, cond := range cfg.Conditions {
+			for _, v := range variants {
+				cache.Put(v3CellKey(t, cfg, wl, cond, v), poison)
+			}
+		}
+	}
+	cfg.Cache = cache
+	res, sims := runCounting(t, cfg, variants)
+	if want := len(res.Cells); sims != want {
+		t.Fatalf("sweep over a v3-poisoned cache simulated %d cells, want %d (v3 entries aliased v4 lookups)", sims, want)
+	}
+	for _, c := range res.Cells {
+		if c.Mean == poison.Mean {
+			t.Fatalf("cell %+v served the poisoned v3 measurement", c)
+		}
+	}
+	for _, wl := range cfg.Workloads {
+		for _, cond := range cfg.Conditions {
+			for _, v := range variants {
+				if mustKey(t, cfg, wl, cond, v) == v3CellKey(t, cfg, wl, cond, v) {
+					t.Fatalf("v4 key equals v3 key for (%s, %s, %s)", wl, cond, v.Name)
+				}
+			}
+		}
+	}
+}
+
 // TestCellKeySchemaTagChangesEveryKey guards the bump mechanism itself:
 // changing nothing but the schema tag rewrites the whole key space.
 func TestCellKeySchemaTagChangesEveryKey(t *testing.T) {

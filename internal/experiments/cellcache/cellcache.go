@@ -31,16 +31,22 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"readretry/internal/ssd/retrymetrics"
 )
 
 // Measurement is the raw (normalization-free) result of one simulated
 // sweep cell, in the engine's native units (µs latencies, mean retry
-// steps).
+// steps). Retry is the per-address retry accounting digest, present iff
+// the sweep ran with ssd.Config.RetryMetrics — all of its fields
+// round-trip exactly through JSON, so a cached or shard-merged cell
+// renders metrics rows byte-identical to a freshly simulated one.
 type Measurement struct {
-	Mean       float64 `json:"mean_us"`
-	MeanRead   float64 `json:"mean_read_us"`
-	P99Read    float64 `json:"p99_read_us"`
-	RetrySteps float64 `json:"retry_steps"`
+	Mean       float64               `json:"mean_us"`
+	MeanRead   float64               `json:"mean_read_us"`
+	P99Read    float64               `json:"p99_read_us"`
+	RetrySteps float64               `json:"retry_steps"`
+	Retry      *retrymetrics.Summary `json:"retry,omitempty"`
 }
 
 // Cache stores cell measurements under content-addressed keys. The engine

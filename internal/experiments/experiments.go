@@ -14,10 +14,10 @@ import (
 	"sort"
 	"strings"
 
-	"readretry/internal/core"
 	"readretry/internal/experiments/cellcache"
 	"readretry/internal/mathx"
 	"readretry/internal/ssd"
+	"readretry/internal/ssd/retrymetrics"
 	"readretry/internal/trace"
 	"readretry/internal/workload"
 )
@@ -181,6 +181,12 @@ type Config struct {
 	// index — so consumers can stream output (see CSVSink) instead of
 	// waiting for the Result. A sink error aborts the sweep.
 	Sink CellSink
+	// MetricsSink, when non-nil, receives the same cells in the same
+	// canonical order, immediately after Sink sees each one — the parallel
+	// stream the per-cell retry-metrics CSV rides (see MetricsCSVSink).
+	// Populated cells require Base.RetryMetrics; a metrics sink error
+	// aborts the sweep exactly like a Sink error.
+	MetricsSink CellSink
 	// Cache, when non-nil, is consulted before simulating each cell (by
 	// a content-addressed key over the workload, condition, variant
 	// behavior, seed, trace shape, and device config) and filled after
@@ -269,6 +275,10 @@ type Cell struct {
 	// the reference measured a zero mean (normalization undefined).
 	Normalized float64
 	RetrySteps float64 // mean N_RR observed
+	// Retry is the per-address retry accounting digest, present iff the
+	// sweep's device template enables Base.RetryMetrics. It flows through
+	// the cell cache, shard records, and the coordinator unchanged.
+	Retry *retrymetrics.Summary
 }
 
 // Result is a completed sweep.
@@ -292,8 +302,8 @@ func traceFor(cfg Config, name string) ([]trace.Record, error) {
 	return workload.NewGenerator(spec, cfg.Seed).Generate(cfg.Requests), nil
 }
 
-// runOne executes a single (workload, condition, scheme) simulation.
-func runOne(cfg Config, recs []trace.Record, cond Condition, scheme core.Scheme, usePSO bool) (*ssd.Stats, error) {
+// runOne executes a single (workload, condition, variant) simulation.
+func runOne(cfg Config, recs []trace.Record, cond Condition, v Variant) (*ssd.Stats, error) {
 	if cfg.simHook != nil {
 		cfg.simHook()
 	}
@@ -305,8 +315,9 @@ func runOne(cfg Config, recs []trace.Record, cond Condition, scheme core.Scheme,
 		// scale, timing, and scheme knobs still come from Base.
 		devCfg = cond.Device.Apply(devCfg)
 	}
-	devCfg.Scheme = scheme
-	devCfg.UsePSO = usePSO
+	devCfg.Scheme = v.Scheme
+	devCfg.UsePSO = v.PSO
+	devCfg.UseRetryHistory = v.History
 	devCfg.PEC = cond.PEC
 	devCfg.RetentionMonths = cond.Months
 	if cond.TempC != 0 {

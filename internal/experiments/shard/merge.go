@@ -163,6 +163,7 @@ func Assemble(g *experiments.Grid, variants []experiments.Variant, got []cellcac
 			Workload: wl, Cond: cond, Config: v.Name,
 			Mean: m.Mean, MeanRead: m.MeanRead,
 			P99Read: m.P99Read, RetrySteps: m.RetrySteps,
+			Retry: m.Retry,
 		}
 	}
 	if err := experiments.NormalizeCells(res.Cells, variants); err != nil {

@@ -76,6 +76,7 @@ func Run(ctx context.Context, cfg experiments.Config, variants []experiments.Var
 			Measurement: cellcache.Measurement{
 				Mean: cells[i].Mean, MeanRead: cells[i].MeanRead,
 				P99Read: cells[i].P99Read, RetrySteps: cells[i].RetrySteps,
+				Retry: cells[i].Retry,
 			},
 		})
 	}

@@ -169,6 +169,63 @@ func TestPlanPartitionPropertyAndMergeIdentity(t *testing.T) {
 	}
 }
 
+// TestMergedMetricsCSVMatchesUnsharded: with retry accounting enabled the
+// retry digest rides each cell through shard records and the shared
+// cache, so a merged grid renders the metrics CSV byte-identically to a
+// single-process sweep — the same contract the primary CSV already keeps.
+func TestMergedMetricsCSVMatchesUnsharded(t *testing.T) {
+	cfg := baseConfig(7)
+	cfg.Base.RetryMetrics = true
+	variants := twoVariants()
+
+	unsharded, err := experiments.RunSweep(context.Background(), cfg, variants)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var want bytes.Buffer
+	if err := unsharded.WriteMetricsCSV(&want); err != nil {
+		t.Fatal(err)
+	}
+
+	p, err := shard.NewPlan(cfg, variants, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// From completion records alone.
+	dir := t.TempDir()
+	runShards(t, cfg, variants, p, dir)
+	merged, err := shard.Merge(cfg, variants, dir, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got bytes.Buffer
+	if err := merged.WriteMetricsCSV(&got); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(want.Bytes(), got.Bytes()) {
+		t.Fatalf("record-merged metrics CSV differs from unsharded\nunsharded:\n%s\nmerged:\n%s",
+			want.String(), got.String())
+	}
+
+	// From a shared cache alone: the digest survives the JSON round-trip.
+	cacheCfg := cfg
+	cacheCfg.Cache = cellcache.Memory()
+	runShards(t, cacheCfg, variants, p, "")
+	fromCache, err := shard.Merge(cfg, variants, "", cacheCfg.Cache)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got.Reset()
+	if err := fromCache.WriteMetricsCSV(&got); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(want.Bytes(), got.Bytes()) {
+		t.Fatalf("cache-merged metrics CSV differs from unsharded\nunsharded:\n%s\nmerged:\n%s",
+			want.String(), got.String())
+	}
+}
+
 // TestMergeIncompleteFailsWithExactMissingCells: merging before every
 // shard has finished must fail with a *MissingCellsError naming exactly
 // the cells of the unfinished shards — never a silently normalized partial

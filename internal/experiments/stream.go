@@ -145,18 +145,26 @@ type resequencer struct {
 	filled    []int  // completed-cell count per stripe
 	next      int    // first stripe not yet released
 	reference string // normalization column
-	sink      CellSink
+	sinks     []CellSink
 	sinkErr   error // latched first sink failure; stops all further emission
 }
 
-func newResequencer(cells []Cell, stride int, reference string, sink CellSink) *resequencer {
-	return &resequencer{
+// newResequencer accepts the release-order consumers; nil sinks are
+// dropped, and each released cell visits the remaining sinks in argument
+// order (the primary sink before the metrics sink).
+func newResequencer(cells []Cell, stride int, reference string, sinks ...CellSink) *resequencer {
+	r := &resequencer{
 		cells:     cells,
 		stride:    stride,
 		filled:    make([]int, len(cells)/stride),
 		reference: reference,
-		sink:      sink,
 	}
+	for _, s := range sinks {
+		if s != nil {
+			r.sinks = append(r.sinks, s)
+		}
+	}
+	return r
 }
 
 // complete records the measured cell at grid index idx and releases every
@@ -176,9 +184,9 @@ func (r *resequencer) complete(idx int, c Cell) error {
 		base := r.next * r.stride
 		stripe := r.cells[base : base+r.stride]
 		normalizeStripe(stripe, r.reference)
-		if r.sink != nil {
-			for i := range stripe {
-				if err := r.sink.Cell(stripe[i], base+i, len(r.cells)); err != nil {
+		for i := range stripe {
+			for _, sink := range r.sinks {
+				if err := sink.Cell(stripe[i], base+i, len(r.cells)); err != nil {
 					r.sinkErr = fmt.Errorf("experiments: cell sink: %w", err)
 					return r.sinkErr
 				}

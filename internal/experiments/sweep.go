@@ -11,13 +11,17 @@ import (
 	"readretry/internal/trace"
 )
 
-// Variant is one configuration column of a sweep: a named (scheme, PSO)
-// combination. Figure 14 sweeps the five schemes; Figure 15 adds the
-// PSO-enabled combinations.
+// Variant is one configuration column of a sweep: a named (scheme, PSO,
+// history) combination. Figure 14 sweeps the five schemes; Figure 15 adds
+// the PSO-enabled combinations; HistoryVariant adds the history-aware
+// policy column.
 type Variant struct {
 	Name   string
 	Scheme core.Scheme
 	PSO    bool
+	// History enables the per-block history-aware retry policy
+	// (ssd.Config.UseRetryHistory) for this column.
+	History bool
 }
 
 // Figure14Variants returns the five §7.2 configurations in presentation
@@ -39,6 +43,16 @@ func Figure15Variants() []Variant {
 		{Name: "PSO+PnAR2", Scheme: core.PnAR2, PSO: true},
 		{Name: "NoRR", Scheme: core.NoRR},
 	}
+}
+
+// HistoryVariant returns the history-aware policy column: PnAR² with each
+// block's ladder start seeded from its last successful read's position
+// (ssd.Config.UseRetryHistory). Append it to Figure14Variants to compare
+// the paper's schemes against their natural per-block-history extension;
+// the default grids deliberately exclude it so their outputs stay
+// byte-identical to the pre-history goldens.
+func HistoryVariant() Variant {
+	return Variant{Name: "PnAR2+H", Scheme: core.PnAR2, History: true}
 }
 
 // sharedTrace lazily generates one workload's request stream exactly once,
@@ -102,7 +116,7 @@ func RunSweep(ctx context.Context, cfg Config, variants []Variant) (*Result, err
 	for i := range indices {
 		indices[i] = i
 	}
-	seq := newResequencer(res.Cells, g.Stride(), ReferenceVariant(variants), cfg.Sink)
+	seq := newResequencer(res.Cells, g.Stride(), ReferenceVariant(variants), cfg.Sink, cfg.MetricsSink)
 	err = runGridCells(ctx, cfg, g, indices, func(pos, idx int, c Cell) error {
 		return seq.complete(idx, c)
 	})
@@ -176,6 +190,7 @@ func runGridCells(ctx context.Context, cfg Config, g *Grid, indices []int, deliv
 				if m, ok := cfg.Cache.Get(key); ok {
 					cell.Mean, cell.MeanRead = m.Mean, m.MeanRead
 					cell.P99Read, cell.RetrySteps = m.P99Read, m.RetrySteps
+					cell.Retry = m.Retry
 					hit = true
 				}
 			}
@@ -188,17 +203,22 @@ func runGridCells(ctx context.Context, cfg Config, g *Grid, indices []int, deliv
 					fail(tr.err)
 					return
 				}
-				st, err := runOne(cfg, tr.recs, cond, v.Scheme, v.PSO)
+				st, err := runOne(cfg, tr.recs, cond, v)
 				if err != nil {
 					fail(fmt.Errorf("%s %v %s: %w", wl, cond, v.Name, err))
 					return
 				}
 				cell.Mean, cell.MeanRead = st.MeanAll(), st.MeanRead()
 				cell.P99Read, cell.RetrySteps = st.ReadPercentile(99), st.MeanRetrySteps()
+				if st.Retry != nil {
+					sum := st.Retry.Summary()
+					cell.Retry = &sum
+				}
 				if cfg.Cache != nil {
 					cfg.Cache.Put(key, cellcache.Measurement{
 						Mean: cell.Mean, MeanRead: cell.MeanRead,
 						P99Read: cell.P99Read, RetrySteps: cell.RetrySteps,
+						Retry: cell.Retry,
 					})
 				}
 			}

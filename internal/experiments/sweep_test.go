@@ -40,7 +40,7 @@ func serialReference(t *testing.T, cfg Config, variants []Variant) *Result {
 		for _, cond := range cfg.Conditions {
 			var baseline float64
 			for _, v := range variants {
-				st, err := runOne(cfg, recs, cond, v.Scheme, v.PSO)
+				st, err := runOne(cfg, recs, cond, v)
 				if err != nil {
 					t.Fatal(err)
 				}

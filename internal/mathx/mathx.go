@@ -219,6 +219,48 @@ func percentileSorted(sorted []float64, p float64) float64 {
 	return sorted[lo]*(1-frac) + sorted[hi]*frac
 }
 
+// PercentileHistogram returns the p-th percentile of the integer multiset a
+// count histogram encodes — value i appearing counts[i] times — with the
+// same closest-rank linear interpolation as PercentileSorted over the
+// expanded multiset. In particular p ≥ 100 yields the largest value with a
+// nonzero count, never the histogram's length. It returns 0 when the
+// histogram is empty (all counts zero).
+func PercentileHistogram(counts []int64, p float64) float64 {
+	var total int64
+	for _, c := range counts {
+		total += c
+	}
+	if total == 0 {
+		return 0
+	}
+	// valueAt walks the cumulative counts to the k-th (0-based) smallest
+	// element of the expanded multiset.
+	valueAt := func(k int64) float64 {
+		var cum int64
+		for v, c := range counts {
+			cum += c
+			if k < cum {
+				return float64(v)
+			}
+		}
+		return float64(len(counts) - 1) // unreachable for k < total
+	}
+	if p <= 0 {
+		return valueAt(0)
+	}
+	if p >= 100 {
+		return valueAt(total - 1)
+	}
+	rank := p / 100 * float64(total-1)
+	lo := int64(math.Floor(rank))
+	hi := int64(math.Ceil(rank))
+	if lo == hi {
+		return valueAt(lo)
+	}
+	frac := rank - float64(lo)
+	return valueAt(lo)*(1-frac) + valueAt(hi)*frac
+}
+
 // Histogram counts observations into fixed-width bins over [Lo, Hi).
 // Observations outside the range land in the saturating edge bins.
 type Histogram struct {

@@ -218,6 +218,60 @@ func TestPercentileSortedMatchesPercentile(t *testing.T) {
 	}
 }
 
+func TestPercentileHistogram(t *testing.T) {
+	cases := []struct {
+		name   string
+		counts []int64
+		p      float64
+		want   float64
+	}{
+		{"nil", nil, 50, 0},
+		{"all-zero", []int64{0, 0, 0}, 99, 0},
+		{"one entry p0", []int64{0, 0, 1}, 0, 2},
+		{"one entry p50", []int64{0, 0, 1}, 50, 2},
+		{"one entry p100", []int64{0, 0, 1}, 100, 2},
+		// An empty tail bucket must never be reported: the largest
+		// *observed* value is 1 even though the histogram extends to 3.
+		{"empty tail p100", []int64{1, 2, 0, 0}, 100, 1},
+		{"negative p clamps", []int64{0, 1, 1}, -5, 1},
+		{"above 100 clamps", []int64{0, 1, 1}, 250, 2},
+		// Multiset {0, 1, 1}: rank 0.5·2 = 1 → value 1 exactly.
+		{"median on count", []int64{1, 2}, 50, 1},
+		// Multiset {0, 2}: rank 0.5·1 = 0.5 → interpolate 0 and 2.
+		{"median interpolated", []int64{1, 0, 1}, 50, 1},
+		// Skewed: 99 clean reads and one 10-step read; p99 lands between
+		// the last 0 and the 10: rank 0.99·99 = 98.01 → 0.01·10.
+		{"skewed p99", []int64{99, 0, 0, 0, 0, 0, 0, 0, 0, 0, 1}, 99, 0.1},
+	}
+	for _, c := range cases {
+		if got := PercentileHistogram(c.counts, c.p); !almostEqual(got, c.want, 1e-12) {
+			t.Errorf("%s: PercentileHistogram(%v, %v) = %v, want %v",
+				c.name, c.counts, c.p, got, c.want)
+		}
+	}
+}
+
+func TestPercentileHistogramMatchesSortedExpansion(t *testing.T) {
+	f := func(raw []uint8, pRaw float64) bool {
+		counts := make([]int64, len(raw))
+		var expanded []float64
+		for v, c := range raw {
+			counts[v] = int64(c % 5)
+			for i := int64(0); i < counts[v]; i++ {
+				expanded = append(expanded, float64(v))
+			}
+		}
+		if len(expanded) == 0 {
+			return PercentileHistogram(counts, pRaw) == 0
+		}
+		p := math.Mod(math.Abs(pRaw), 120) // exercise the ≥100 clamp too
+		return PercentileHistogram(counts, p) == PercentileSorted(expanded, p)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
 func TestHistogram(t *testing.T) {
 	h := NewHistogram(0, 10, 10)
 	for i := 0; i < 10; i++ {

@@ -87,6 +87,21 @@ type Config struct {
 	// retry are unaffected.
 	UseDriftPredictor bool
 
+	// RetryMetrics enables the per-physical-address retry accounting layer
+	// (internal/ssd/retrymetrics): per-block retry-step histograms, latency
+	// attribution, and hottest-page tracking, digested into Stats.Retry at
+	// the end of the run. Strictly observational — simulated timing and
+	// every existing statistic are bit-identical with it on or off.
+	RetryMetrics bool
+
+	// UseRetryHistory enables the history-aware retry policy: each block's
+	// last successful read's ladder position seeds the next read's starting
+	// level, the natural extension of the paper's PR mechanism (§8's
+	// forward pointer) — per-block history instead of per-group caching
+	// (PSO) or model prediction (UseDriftPredictor). A read whose history
+	// hits pays |N_RR − predicted| + 1 steps, never more than the cold walk.
+	UseRetryHistory bool
+
 	// DisableReadFastPath turns off the condition-resident read fast path —
 	// precomputed error-model profiles, memoized controller plans, and the
 	// pooled plan executor — and routes every read through the original

@@ -180,10 +180,21 @@ func TestRetryStepHistogram(t *testing.T) {
 	p50 := st.RetryStepPercentile(50)
 	p99 := st.RetryStepPercentile(99)
 	if p50 > p99 {
-		t.Errorf("p50 (%d) above p99 (%d)", p50, p99)
+		t.Errorf("p50 (%g) above p99 (%g)", p50, p99)
 	}
-	if p99 >= len(st.RetryHistogram) {
-		t.Errorf("p99 %d outside histogram of %d bins", p99, len(st.RetryHistogram))
+	if p99 >= float64(len(st.RetryHistogram)) {
+		t.Errorf("p99 %g outside histogram of %d bins", p99, len(st.RetryHistogram))
+	}
+	// The pre-sized histogram's empty tail must not leak into p=100: the
+	// maximum is the largest observed step count, not the last bucket.
+	maxObserved := 0
+	for n, c := range st.RetryHistogram {
+		if c > 0 {
+			maxObserved = n
+		}
+	}
+	if p100 := st.RetryStepPercentile(100); p100 != float64(maxObserved) {
+		t.Errorf("p100 %g != largest observed step count %d", p100, maxObserved)
 	}
 	var empty Stats
 	if empty.RetryStepPercentile(50) != 0 {

@@ -1,0 +1,168 @@
+package retrymetrics
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"readretry/internal/sim"
+)
+
+func mustNew(t *testing.T, cfg Config) *Metrics {
+	t.Helper()
+	m, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestConfigValidate(t *testing.T) {
+	for _, bad := range []Config{
+		{},
+		{Blocks: 0, PagesPerBlock: 4, Buckets: 4},
+		{Blocks: 4, PagesPerBlock: 0, Buckets: 4},
+		{Blocks: 4, PagesPerBlock: 4, Buckets: 0},
+		{Blocks: 4, PagesPerBlock: 4, Buckets: 4, TopK: -1},
+	} {
+		if _, err := New(bad); err == nil {
+			t.Errorf("New(%+v) accepted an invalid config", bad)
+		}
+	}
+	m := mustNew(t, Config{Blocks: 2, PagesPerBlock: 4, Buckets: 3})
+	if got := len(m.top); got != DefaultTopK {
+		t.Errorf("TopK 0 sized the table to %d, want DefaultTopK %d", got, DefaultTopK)
+	}
+}
+
+func TestRecordReadAccounting(t *testing.T) {
+	m := mustNew(t, Config{Blocks: 4, PagesPerBlock: 8, Buckets: 5, TopK: 4})
+
+	m.RecordRead(0, 0, 0, 10, 20, 30, 40) // clean read: counted, no retry stats
+	m.RecordRead(1, 3, 2, 100, 0, 0, 5)
+	m.RecordRead(1, 3, 2, 100, 0, 0, 5)
+	m.RecordRead(2, 7, 9, 100, 0, 0, 0) // saturates into the last bucket
+
+	if m.PageReads() != 4 {
+		t.Fatalf("PageReads = %d, want 4", m.PageReads())
+	}
+	if m.RetriedReads() != 3 {
+		t.Fatalf("RetriedReads = %d, want 3", m.RetriedReads())
+	}
+	if got := m.BlockHistogram(0)[0]; got != 1 {
+		t.Errorf("block 0 clean-read bucket = %d, want 1", got)
+	}
+	if got := m.BlockHistogram(1)[2]; got != 2 {
+		t.Errorf("block 1 bucket 2 = %d, want 2", got)
+	}
+	if got := m.BlockHistogram(2)[4]; got != 1 {
+		t.Errorf("saturating read landed in bucket %v, want last bucket count 1", m.BlockHistogram(2))
+	}
+	if got := m.BlockSteps(1); got != 4 {
+		t.Errorf("BlockSteps(1) = %d, want 4", got)
+	}
+
+	s := m.Summary()
+	if s.TotalSteps != 13 || s.MaxSteps != 9 {
+		t.Errorf("TotalSteps/MaxSteps = %d/%d, want 13/9", s.TotalSteps, s.MaxSteps)
+	}
+	// Block 2 carries 9 of the 13 steps.
+	if s.HotBlock != 2 || s.HotBlockSteps != 9 {
+		t.Errorf("hot block = %d (%d steps), want 2 (9)", s.HotBlock, s.HotBlockSteps)
+	}
+	if want := 9.0 / 13.0; s.HotShare != want {
+		t.Errorf("HotShare = %v, want %v", s.HotShare, want)
+	}
+	// Latency attribution sums every recorded read, clean ones included.
+	if s.SenseUS != sim.Time(310).Microseconds() || s.QueueUS != sim.Time(50).Microseconds() {
+		t.Errorf("sense/queue = %v/%v µs, want 0.31/0.05", s.SenseUS, s.QueueUS)
+	}
+}
+
+func TestSummaryEmpty(t *testing.T) {
+	m := mustNew(t, Config{Blocks: 2, PagesPerBlock: 4, Buckets: 3})
+	s := m.Summary()
+	if s.HotBlock != -1 {
+		t.Errorf("empty run's HotBlock = %d, want -1", s.HotBlock)
+	}
+	if s.P99Steps != 0 || s.HotShare != 0 || len(s.TopPages) != 0 {
+		t.Errorf("empty run produced non-zero digest: %+v", s)
+	}
+}
+
+func TestTopPagesOrderAndEviction(t *testing.T) {
+	m := mustNew(t, Config{Blocks: 8, PagesPerBlock: 16, Buckets: 8, TopK: 2})
+	m.RecordRead(0, 1, 3, 0, 0, 0, 0)
+	m.RecordRead(0, 2, 3, 0, 0, 0, 0)
+	// Table full; a third page evicts the minimum-weight entry. Both carry
+	// weight 3, so the lowest index — page (0,1), inserted first — goes,
+	// over-counted into the newcomer: 3 (inherited) + 5.
+	m.RecordRead(4, 9, 5, 0, 0, 0, 0)
+
+	got := m.Summary().TopPages
+	want := []PageStat{
+		{Block: 4, Page: 9, Steps: 8},
+		{Block: 0, Page: 2, Steps: 3},
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("TopPages = %+v, want %+v", got, want)
+	}
+}
+
+func TestTopPagesTieBreakDeterministic(t *testing.T) {
+	// Equal-weight pages sort by (block, page) ascending, so the digest is
+	// independent of a stable table but deterministic regardless.
+	m := mustNew(t, Config{Blocks: 8, PagesPerBlock: 16, Buckets: 8, TopK: 4})
+	m.RecordRead(3, 5, 2, 0, 0, 0, 0)
+	m.RecordRead(1, 9, 2, 0, 0, 0, 0)
+	m.RecordRead(1, 4, 2, 0, 0, 0, 0)
+	got := m.Summary().TopPages
+	want := []PageStat{
+		{Block: 1, Page: 4, Steps: 2},
+		{Block: 1, Page: 9, Steps: 2},
+		{Block: 3, Page: 5, Steps: 2},
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("TopPages = %+v, want %+v", got, want)
+	}
+}
+
+func TestCSVFieldsMatchColumns(t *testing.T) {
+	m := mustNew(t, Config{Blocks: 4, PagesPerBlock: 8, Buckets: 5, TopK: 2})
+	m.RecordRead(1, 3, 2, 1000, 2000, 3000, 4000)
+	m.RecordRead(2, 0, 4, 1000, 0, 0, 0)
+	s := m.Summary()
+	fields := s.CSVFields()
+	if len(fields) != len(CSVColumns()) {
+		t.Fatalf("CSVFields has %d fields for %d columns", len(fields), len(CSVColumns()))
+	}
+	row := strings.Join(fields, ",")
+	// p99 interpolates over the expanded multiset {2, 4}: 2 + 0.99·2.
+	want := "2,2,6,4,3.980,2.000,2.000,3.000,4.000,2,4,0.6667,2:0:4;1:3:2"
+	if row != want {
+		t.Errorf("CSV row = %q, want %q", row, want)
+	}
+}
+
+func TestRecordReadZeroAllocs(t *testing.T) {
+	m := mustNew(t, Config{Blocks: 64, PagesPerBlock: 32, Buckets: 41, TopK: 8})
+	i := 0
+	allocs := testing.AllocsPerRun(1000, func() {
+		m.RecordRead(i%64, i%32, i%41, 100, 16, 10, 3)
+		i++
+	})
+	if allocs != 0 {
+		t.Fatalf("RecordRead allocates %v times per call, want 0", allocs)
+	}
+}
+
+func BenchmarkRecordRead(b *testing.B) {
+	m, err := New(Config{Blocks: 64, PagesPerBlock: 32, Buckets: 41, TopK: 8})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		m.RecordRead(i%64, i%32, i%41, 100, 16, 10, 3)
+	}
+}

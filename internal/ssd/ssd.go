@@ -9,6 +9,7 @@ import (
 	"readretry/internal/nand"
 	"readretry/internal/rpt"
 	"readretry/internal/sim"
+	"readretry/internal/ssd/retrymetrics"
 	"readretry/internal/trace"
 	"readretry/internal/vth"
 	"readretry/internal/workload"
@@ -34,6 +35,15 @@ type SSD struct {
 	// allocating per-read closure graphs.
 	execFree []*planExec
 
+	// metrics is the per-physical-address retry accounting layer
+	// (Config.RetryMetrics); nil when disabled. history holds each block's
+	// last successful read's step count + 1, 0 meaning no history yet
+	// (Config.UseRetryHistory); both index blocks globally — chip index ×
+	// blocks per die + the block's linear index within its chip.
+	metrics      *retrymetrics.Metrics
+	history      []int32
+	blocksPerDie int
+
 	stats Stats
 }
 
@@ -45,6 +55,7 @@ func New(cfg Config) (*SSD, error) {
 	}
 	model := vth.NewModel(cfg.VthParams, cfg.Seed)
 	s := &SSD{cfg: cfg, eng: &sim.Engine{}}
+	s.blocksPerDie = cfg.Geometry.BlocksPerDie()
 	for d := 0; d < cfg.Dies(); d++ {
 		c, err := chip.New(cfg.Geometry, cfg.Timing, model, d)
 		if err != nil {
@@ -82,6 +93,26 @@ func New(cfg Config) (*SSD, error) {
 	}
 	for _, d := range s.dies {
 		d.gcActive = make([]bool, cfg.Geometry.PlanesPerDie)
+	}
+	// The ladder length bounds every reported step count (failed reads
+	// exhaust the ladder; every policy only reduces), so the histogram is
+	// sized once here and recordRetrySteps never allocates mid-run.
+	s.stats.sizeRetryHistogram(s.chips[0].LadderSteps())
+	totalBlocks := cfg.Dies() * s.blocksPerDie
+	if cfg.RetryMetrics {
+		m, err := retrymetrics.New(retrymetrics.Config{
+			Blocks:        totalBlocks,
+			PagesPerBlock: cfg.Geometry.PagesPerBlock,
+			Buckets:       s.chips[0].LadderSteps() + 1,
+		})
+		if err != nil {
+			return nil, err
+		}
+		s.metrics = m
+		s.stats.Retry = m
+	}
+	if cfg.UseRetryHistory {
+		s.history = make([]int32, totalBlocks)
 	}
 	for lpn := int64(0); lpn < cfg.PreconditionPages; lpn++ {
 		if _, err := s.flash.Precondition(lpn); err != nil {
@@ -439,11 +470,62 @@ func (s *SSD) resolveRead(c *chip.Chip, addr nand.Address) readOutcome {
 			out.nrr = eff
 		}
 		s.stats.PredictorReads++
+	case s.history != nil && out.nrr > 0:
+		// History-aware policy: the block's last successful read recorded
+		// where its ladder walk ended; start this read there. Like the
+		// predictor and PSO, a seeded walk pays the distance between the
+		// true and remembered positions plus one verification step, and
+		// never exceeds the cold walk.
+		if prev := s.history[s.globalBlock(c, addr)]; prev > 0 {
+			dist := out.nrr - int(prev-1)
+			if dist < 0 {
+				dist = -dist
+			}
+			if eff := dist + 1; eff < out.nrr {
+				out.nrr = eff
+			}
+			s.stats.HistoryReads++
+		}
 	case s.pso != nil:
 		g := core.Group(c.Index(), 0, s.cfg.PEC, s.effectiveRetention(c, addr))
 		out.nrr = s.pso.AdjustedSteps(g, out.nrr)
 	}
+	if s.history != nil && !res.Failed {
+		// Record the raw ladder position (not the seeded walk's length):
+		// res.RetrySteps is where the page's V_OPT actually sat, which is
+		// the signal the next read of this block wants.
+		s.history[s.globalBlock(c, addr)] = int32(res.RetrySteps) + 1
+	}
 	return out
+}
+
+// globalBlock maps a chip-local address to the device-wide block index the
+// metrics and history arrays use.
+func (s *SSD) globalBlock(c *chip.Chip, addr nand.Address) int {
+	return c.Index()*s.blocksPerDie + addr.BlockOf().Linear(s.cfg.Geometry)
+}
+
+// recordReadMetrics folds one resolved read into the per-address accounting.
+// The plan lookups hit the memoized plan cache (the same entries the
+// executor uses), so the latency attribution costs two map hits and no
+// allocations per read.
+func (s *SSD) recordReadMetrics(c *chip.Chip, addr nand.Address, oc readOutcome, queue sim.Time) {
+	if s.metrics == nil {
+		return
+	}
+	plan := core.CachedPlan(s.cfg.Scheme, oc.nrr, oc.timings, s.cfg.CoreOpts)
+	sense := plan.KindTotal(core.OpSense)
+	xfer := plan.KindTotal(core.OpDMA)
+	eccT := plan.KindTotal(core.OpECC)
+	steps := oc.nrr
+	if oc.fallback {
+		fb := core.CachedPlan(core.Baseline, oc.fbNRR, oc.timings, s.cfg.CoreOpts)
+		sense += fb.KindTotal(core.OpSense)
+		xfer += fb.KindTotal(core.OpDMA)
+		eccT += fb.KindTotal(core.OpECC)
+		steps += oc.fbNRR
+	}
+	s.metrics.RecordRead(s.globalBlock(c, addr), addr.Page, steps, sense, xfer, eccT, queue)
 }
 
 func (s *SSD) effectiveRetention(c *chip.Chip, addr nand.Address) float64 {
@@ -467,6 +549,7 @@ func (s *SSD) startRead(d *die, t *txn, now sim.Time) {
 	addr := chipAddr(ppn)
 	oc := s.resolveRead(c, addr)
 	s.stats.recordRetrySteps(oc.nrr)
+	s.recordReadMetrics(c, addr, oc, now-t.enqueuedAt)
 	if oc.nrr > 0 {
 		s.stats.RetriedReads++
 	}
@@ -752,6 +835,7 @@ func (s *SSD) runGCMove(d *die, t *txn, now sim.Time) {
 	c := s.chips[d.id]
 	addr := chipAddr(ppn)
 	oc := s.resolveRead(c, addr)
+	s.recordReadMetrics(c, addr, oc, now-t.enqueuedAt)
 	s.stats.GCPageReads++
 	s.execute(d, s.cfg.Scheme, oc.nrr, oc.timings, now, nil, func(rel sim.Time) {
 		// Write the page back out: channel transfer + program.

@@ -7,6 +7,7 @@ import (
 
 	"readretry/internal/mathx"
 	"readretry/internal/sim"
+	"readretry/internal/ssd/retrymetrics"
 )
 
 // Stats aggregates one simulation run. Response times are in microseconds.
@@ -52,6 +53,14 @@ type Stats struct {
 	// SET FEATURE commands the reduced-regular-read extension issued.
 	PredictorReads     int64
 	RegReadSetFeatures int64
+
+	// HistoryReads counts retried reads whose ladder start was seeded from
+	// the block's recorded history (Config.UseRetryHistory).
+	HistoryReads int64
+
+	// Retry is the per-physical-address accounting layer, attached when
+	// Config.RetryMetrics is set (nil otherwise).
+	Retry *retrymetrics.Metrics
 
 	// Resource occupancy for utilization statistics.
 	DieBusyTotal     sim.Time
@@ -123,7 +132,20 @@ func (st *Stats) WriteAmplification() float64 {
 // MeanRetrySteps returns the average N_RR over all page reads.
 func (st *Stats) MeanRetrySteps() float64 { return st.RetrySteps.Mean() }
 
-// recordRetrySteps folds one read's step count into the distribution.
+// sizeRetryHistogram preallocates the N_RR distribution for a ladder of
+// maxSteps entries. Every read reports between 0 and maxSteps steps (failed
+// reads exhaust the ladder; every policy only ever reduces the count), so
+// recordRetrySteps never grows the slice mid-run — the last per-read
+// allocation path in Stats.
+func (st *Stats) sizeRetryHistogram(maxSteps int) {
+	if len(st.RetryHistogram) <= maxSteps {
+		st.RetryHistogram = make([]int64, maxSteps+1)
+	}
+}
+
+// recordRetrySteps folds one read's step count into the distribution. The
+// growth loop is a fallback for hand-built Stats; a simulator-owned Stats is
+// pre-sized at construction and never enters it.
 func (st *Stats) recordRetrySteps(n int) {
 	st.RetrySteps.Add(float64(n))
 	for len(st.RetryHistogram) <= n {
@@ -132,24 +154,12 @@ func (st *Stats) recordRetrySteps(n int) {
 	st.RetryHistogram[n]++
 }
 
-// RetryStepPercentile returns the p-th percentile of the N_RR distribution.
-func (st *Stats) RetryStepPercentile(p float64) int {
-	total := int64(0)
-	for _, c := range st.RetryHistogram {
-		total += c
-	}
-	if total == 0 {
-		return 0
-	}
-	target := int64(p / 100 * float64(total))
-	cum := int64(0)
-	for n, c := range st.RetryHistogram {
-		cum += c
-		if cum > target {
-			return n
-		}
-	}
-	return len(st.RetryHistogram) - 1
+// RetryStepPercentile returns the p-th percentile of the N_RR distribution,
+// interpolated over the recorded multiset exactly as mathx.PercentileSorted
+// would over the expanded samples — so p = 100 is the largest step count
+// actually observed, regardless of how far the histogram extends beyond it.
+func (st *Stats) RetryStepPercentile(p float64) float64 {
+	return mathx.PercentileHistogram(st.RetryHistogram, p)
 }
 
 // String summarizes the run.
@@ -186,5 +196,39 @@ func (st *Stats) WriteReport(w io.Writer) {
 	if st.AR2Fallbacks > 0 {
 		fmt.Fprintf(w, "AR2 fallbacks   : %d\n", st.AR2Fallbacks)
 	}
+	if st.HistoryReads > 0 {
+		fmt.Fprintf(w, "retry history   : %d seeded reads\n", st.HistoryReads)
+	}
+	if st.Retry != nil {
+		writeRetryMetrics(w, st.Retry.Summary())
+	}
 	fmt.Fprintf(w, "simulated time  : %v\n", st.SimEnd)
+}
+
+// writeRetryMetrics renders the per-address accounting section of the
+// report from a digested summary.
+func writeRetryMetrics(w io.Writer, s retrymetrics.Summary) {
+	if s.RetriedReads == 0 {
+		fmt.Fprintf(w, "retry metrics   : no retried reads over %d page reads\n", s.PageReads)
+		return
+	}
+	fmt.Fprintf(w, "retry metrics   : hottest block %d (%d steps, %.1f%% of all), p99 %.2f steps\n",
+		s.HotBlock, s.HotBlockSteps, s.HotShare*100, s.P99Steps)
+	fmt.Fprintf(w, "retry latency   : sense %.0f µs, transfer %.0f µs, ecc %.0f µs, queue %.0f µs\n",
+		s.SenseUS, s.TransferUS, s.ECCUS, s.QueueUS)
+	if len(s.TopPages) > 0 {
+		fmt.Fprintf(w, "retry hot pages :")
+		n := len(s.TopPages)
+		if n > 4 {
+			n = 4
+		}
+		for i := 0; i < n; i++ {
+			p := s.TopPages[i]
+			if i > 0 {
+				fmt.Fprintf(w, ",")
+			}
+			fmt.Fprintf(w, " blk %d pg %d (%d)", p.Block, p.Page, p.Steps)
+		}
+		fmt.Fprintf(w, "\n")
+	}
 }

@@ -46,6 +46,7 @@ import (
 	"readretry/internal/nand"
 	"readretry/internal/rpt"
 	"readretry/internal/ssd"
+	"readretry/internal/ssd/retrymetrics"
 	"readretry/internal/trace"
 	"readretry/internal/vth"
 	"readretry/internal/workload"
@@ -232,6 +233,16 @@ type (
 	SSDStats = ssd.Stats
 	// Request is one block-I/O trace record.
 	Request = trace.Record
+	// RetryMetrics is the per-block retry accounting a device collects
+	// when SSDConfig.RetryMetrics is on, reachable as SSDStats.Retry —
+	// allocation-free during the run, purely observational (latencies are
+	// bit-identical with it on or off).
+	RetryMetrics = retrymetrics.Metrics
+	// RetrySummary is a RetryMetrics digest: device-wide counts, retry-
+	// latency attribution, the hottest block, and the top retried pages.
+	RetrySummary = retrymetrics.Summary
+	// RetryPageStat is one hottest-page entry of a RetrySummary.
+	RetryPageStat = retrymetrics.PageStat
 )
 
 // DefaultSSDConfig returns the paper's full-size 512-GiB device (§7.1).
@@ -296,6 +307,10 @@ type (
 	// SweepCSVSink streams cells as CSV rows, byte-identical to
 	// SweepResult.WriteCSV for the same grid.
 	SweepCSVSink = experiments.CSVSink
+	// SweepMetricsCSVSink streams one retry-metrics row per cell
+	// (SweepConfig.MetricsSink; requires SweepConfig.Base.RetryMetrics),
+	// byte-identical to SweepResult.WriteMetricsCSV for the same grid.
+	SweepMetricsCSVSink = experiments.MetricsCSVSink
 	// SweepCache is the content-addressed per-cell measurement cache
 	// RunSweep consults (SweepConfig.Cache): re-running a grown grid only
 	// simulates new cells.
@@ -315,6 +330,19 @@ func NewSweepCSVSink(w io.Writer) (*SweepCSVSink, error) { return experiments.Ne
 // SweepResult.WriteCSV emits for the same grid.
 func NewSweepCSVSinkFor(cfg SweepConfig, w io.Writer) (*SweepCSVSink, error) {
 	return experiments.NewCSVSinkFor(cfg, w)
+}
+
+// NewSweepMetricsCSVSink writes the retry-metrics CSV header to w and
+// returns the streaming per-cell metrics sink for SweepConfig.MetricsSink
+// (temperature-less single-device schema; see NewSweepMetricsCSVSinkFor).
+func NewSweepMetricsCSVSink(w io.Writer) (*SweepMetricsCSVSink, error) {
+	return experiments.NewMetricsCSVSink(w)
+}
+
+// NewSweepMetricsCSVSinkFor is NewSweepMetricsCSVSink with the schema
+// chosen from the sweep configuration, mirroring NewSweepCSVSinkFor.
+func NewSweepMetricsCSVSinkFor(cfg SweepConfig, w io.Writer) (*SweepMetricsCSVSink, error) {
+	return experiments.NewMetricsCSVSinkFor(cfg, w)
 }
 
 // CrossTemps expands a condition grid across an operating-temperature
@@ -360,6 +388,12 @@ func Figure14Variants() []SweepVariant { return experiments.Figure14Variants() }
 
 // Figure15Variants returns the PSO comparison columns.
 func Figure15Variants() []SweepVariant { return experiments.Figure15Variants() }
+
+// HistoryVariant returns the history-seeded PnAR2 column ("PnAR2+H"):
+// PnAR2 with each block's retry-ladder start seeded from that block's
+// most recent successful retry outcome. Append it to Figure14Variants to
+// grow the grid; the default grids deliberately exclude it.
+func HistoryVariant() SweepVariant { return experiments.HistoryVariant() }
 
 // Sweep sharding: distributing one grid across processes (or machines
 // sharing a filesystem) and merging the outputs back bit-identically.
